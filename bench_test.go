@@ -1,0 +1,267 @@
+// Package repro's top-level benchmarks regenerate each table and figure
+// of the paper's evaluation (see DESIGN.md's per-experiment index) and
+// measure the design-choice ablations. Run them with:
+//
+//	go test -bench=. -benchmem
+//
+// Absolute timings differ from the paper's (the substrate is the PIL VM,
+// not the authors' Cloud9 testbed); the shapes to check — who wins, by
+// what rough factor, how time scales with preemptions/branches — are
+// asserted by the test suite and reported by cmd/paper-eval.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/race"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// BenchmarkTable1_ProgramInventory measures front-end cost: parsing and
+// compiling the whole workload suite (the static side of Table 1).
+func BenchmarkTable1_ProgramInventory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, w := range workloads.All() {
+			_ = w.Compile()
+		}
+	}
+}
+
+// BenchmarkTable2_SpecViolatedRaces classifies the harmful races of
+// Table 2: the SQLite deadlock and the ctrace (Fig 4) crash.
+func BenchmarkTable2_SpecViolatedRaces(b *testing.B) {
+	sq := workloads.SQLite()
+	ct := workloads.Ctrace()
+	opts := core.DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Run(sq.Compile(), sq.Args, sq.Inputs, opts)
+		core.Run(ct.Compile(), ct.Args, ct.Inputs, opts)
+	}
+}
+
+// BenchmarkTable3_Classification runs the full 93-race classification
+// sweep (Table 3).
+func BenchmarkTable3_Classification(b *testing.B) {
+	opts := core.DefaultOptions()
+	for i := 0; i < b.N; i++ {
+		s := eval.RunSuite(opts)
+		if c, t := s.Accuracy(); c == 0 || t == 0 {
+			b.Fatal("suite produced no verdicts")
+		}
+	}
+}
+
+// BenchmarkTable4_ClassificationTime measures per-race classification
+// latency on one representative program (the quantity of Table 4).
+func BenchmarkTable4_ClassificationTime(b *testing.B) {
+	w := workloads.Bbuf()
+	p := w.Compile()
+	opts := core.DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Run(p, w.Args, w.Inputs, opts)
+	}
+}
+
+// BenchmarkTable5_AccuracyComparison measures the comparator classifiers
+// (Record/Replay-Analyzer and the ad-hoc detector) against Portend on the
+// same races (Table 5).
+func BenchmarkTable5_AccuracyComparison(b *testing.B) {
+	w := workloads.Bbuf()
+	p := w.Compile()
+	det := race.Detect(p, w.Args, w.Inputs, 3_000_000)
+	cl := core.New(p, core.DefaultOptions())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, rep := range det.Reports {
+			if _, err := cl.RecordReplayAnalyzer(rep, det.Trace); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := cl.AdHocDetector(rep, det.Trace); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig7_TechniqueBreakdown measures the four cumulative analysis
+// configurations (single-path → +ad-hoc → +multi-path → +multi-schedule)
+// on one program (Fig 7).
+func BenchmarkFig7_TechniqueBreakdown(b *testing.B) {
+	w := workloads.Bbuf()
+	p := w.Compile()
+	cfgs := eval.Fig7Configs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range cfgs {
+			core.Run(p, w.Args, w.Inputs, cfg.Opts)
+		}
+	}
+}
+
+// BenchmarkFig9_Scalability measures one cell of the preemptions ×
+// branches sweep (Fig 9); the full grid is rendered by cmd/paper-eval.
+func BenchmarkFig9_Scalability(b *testing.B) {
+	for _, cell := range []struct{ p, br int }{{20, 5}, {100, 10}, {400, 20}} {
+		b.Run(benchName(cell.p, cell.br), func(b *testing.B) {
+			src := workloads.ScaleSource(cell.p, cell.br)
+			w := &workloads.Workload{Name: "scale", Source: src, Inputs: []int64{3}}
+			p := w.Compile()
+			opts := core.DefaultOptions()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.Run(p, nil, w.Inputs, opts)
+			}
+		})
+	}
+}
+
+func benchName(p, b int) string {
+	return "preempt=" + itoa(p) + "/branches=" + itoa(b)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkFig10_AccuracyVsK measures the cost of growing k = Mp×Ma
+// (Fig 10's x-axis): k=1 vs the default k=10.
+func BenchmarkFig10_AccuracyVsK(b *testing.B) {
+	w := workloads.Ctrace()
+	p := w.Compile()
+	low := core.DefaultOptions()
+	low.MultiPath = false
+	low.MultiSchedule = false
+	high := core.DefaultOptions()
+	b.Run("k=1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.Run(p, w.Args, w.Inputs, low)
+		}
+	})
+	b.Run("k=10", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.Run(p, w.Args, w.Inputs, high)
+		}
+	})
+}
+
+// BenchmarkAblation_StateVsOutput compares symbolic output comparison
+// (Portend's criterion) against concrete comparison (the ablated mode) —
+// DESIGN.md decision 1.
+func BenchmarkAblation_StateVsOutput(b *testing.B) {
+	w := workloads.Bbuf()
+	p := w.Compile()
+	symbolic := core.DefaultOptions()
+	concrete := core.DefaultOptions()
+	concrete.SymbolicOutput = false
+	b.Run("symbolic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.Run(p, w.Args, w.Inputs, symbolic)
+		}
+	})
+	b.Run("concrete", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.Run(p, w.Args, w.Inputs, concrete)
+		}
+	})
+}
+
+// BenchmarkAblation_ParallelClassify measures the "embarrassingly
+// parallel" claim (§3.4): classifying a program's races serially vs
+// fanned out across goroutines — DESIGN.md decision 5.
+func BenchmarkAblation_ParallelClassify(b *testing.B) {
+	w := workloads.Pbzip2()
+	p := w.Compile()
+	det := race.Detect(p, w.Args, w.Inputs, 3_000_000)
+	opts := core.DefaultOptions()
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cl := core.New(p, opts)
+			for _, rep := range det.Reports {
+				if _, err := cl.Classify(rep, det.Trace); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			done := make(chan error, len(det.Reports))
+			for _, rep := range det.Reports {
+				rep := rep
+				go func() {
+					// Each goroutine gets its own classifier (and thus
+					// solver); races classify independently.
+					cl := core.New(p, opts)
+					_, err := cl.Classify(rep, det.Trace)
+					done <- err
+				}()
+			}
+			for range det.Reports {
+				if err := <-done; err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkVM_Interpretation measures raw interpreter throughput (the
+// "Cloud9 running time" baseline of Table 4).
+func BenchmarkVM_Interpretation(b *testing.B) {
+	w := workloads.Fmm()
+	p := w.Compile()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := vm.NewState(p, w.Args, w.Inputs)
+		res := vm.NewMachine(st, vm.NewRoundRobin()).Run(50_000_000)
+		if res.Kind != vm.StopFinished {
+			b.Fatalf("run: %v", res.Kind)
+		}
+	}
+}
+
+// BenchmarkVM_DetectionOverhead measures the happens-before detector's
+// overhead over plain interpretation.
+func BenchmarkVM_DetectionOverhead(b *testing.B) {
+	w := workloads.Fmm()
+	p := w.Compile()
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st := vm.NewState(p, w.Args, w.Inputs)
+			vm.NewMachine(st, vm.NewRoundRobin()).Run(50_000_000)
+		}
+	})
+	b.Run("detector", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			race.Detect(p, w.Args, w.Inputs, 50_000_000)
+		}
+	})
+}
+
+// BenchmarkVM_Checkpoint measures State.Clone, the primitive behind
+// Algorithm 1's checkpoints and Algorithm 2's forking.
+func BenchmarkVM_Checkpoint(b *testing.B) {
+	w := workloads.Memcached()
+	p := w.Compile()
+	st := vm.NewState(p, w.Args, w.Inputs)
+	vm.NewMachine(st, vm.NewRoundRobin()).Run(5_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = st.Clone()
+	}
+}

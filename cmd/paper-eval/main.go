@@ -1,0 +1,72 @@
+// Command paper-eval regenerates every table and figure of the paper's
+// evaluation (§5) on the workload suite, printing measured values next to
+// the published ones.
+//
+// Usage:
+//
+//	paper-eval             # everything
+//	paper-eval -table 3    # just Table 3
+//	paper-eval -fig 7      # just Fig 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+)
+
+func main() {
+	table := flag.Int("table", 0, "render only this table (1-5)")
+	fig := flag.Int("fig", 0, "render only this figure (7, 9, 10)")
+	flag.Parse()
+
+	opts := core.DefaultOptions()
+
+	needSuite := *fig == 0 || *table != 0
+	var s *eval.Suite
+	if needSuite && (*fig == 0 || *table > 0) {
+		s = eval.RunSuite(opts)
+	}
+
+	all := *table == 0 && *fig == 0
+	show := func(t int) bool { return all || *table == t }
+	showF := func(f int) bool { return all || *fig == f }
+
+	if s != nil {
+		if show(1) {
+			fmt.Println(s.Table1())
+		}
+		if show(2) {
+			fmt.Println(s.Table2())
+		}
+		if show(3) {
+			fmt.Println(s.Table3())
+		}
+		if show(4) {
+			fmt.Println(s.Table4())
+		}
+		if show(5) {
+			fmt.Println(s.Table5())
+		}
+	}
+	if *table == 0 {
+		if showF(7) {
+			fmt.Println(eval.Fig7(nil))
+		}
+		if showF(9) {
+			fmt.Println(eval.Fig9Render(eval.Fig9(nil, nil, opts)))
+		}
+		if showF(10) {
+			fmt.Println(eval.Fig10(nil))
+		}
+	}
+	if s != nil && all {
+		correct, total := s.Accuracy()
+		fmt.Printf("headline: Portend classified %d/%d races correctly (%.0f%%; paper: 92/93 = 99%%)\n",
+			correct, total, 100*float64(correct)/float64(total))
+	}
+	os.Exit(0)
+}

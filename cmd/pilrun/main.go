@@ -1,0 +1,116 @@
+// Command pilrun runs a PIL program concretely — the reproduction's
+// equivalent of plain Cloud9 interpretation (no race detection, no
+// classification). It is the baseline for Table 4's "Cloud9 running
+// time" column.
+//
+// Usage:
+//
+//	pilrun [-args 1,2,3] [-inputs 4,5] [-budget N] [-disasm] prog.pil
+//	pilrun -workload pbzip2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bytecode"
+	"repro/internal/lang"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+func parseInts(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	argsFlag := flag.String("args", "", "comma-separated program arguments")
+	inputsFlag := flag.String("inputs", "", "comma-separated input log values")
+	budget := flag.Int64("budget", 50_000_000, "instruction budget")
+	disasm := flag.Bool("disasm", false, "print disassembly and exit")
+	workload := flag.String("workload", "", "run a built-in workload instead of a file")
+	flag.Parse()
+
+	var prog *bytecode.Program
+	args, err := parseInts(*argsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	inputs, err := parseInts(*inputsFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *workload != "" {
+		w := workloads.ByName(*workload)
+		if w == nil {
+			fatal(fmt.Errorf("unknown workload %q", *workload))
+		}
+		prog = w.Compile()
+		if args == nil {
+			args = w.Args
+		}
+		if inputs == nil {
+			inputs = w.Inputs
+		}
+	} else {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: pilrun [flags] prog.pil (or -workload name)")
+			os.Exit(2)
+		}
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		ast, err := lang.Parse(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		prog, err = bytecode.Compile(ast, flag.Arg(0), bytecode.Options{})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *disasm {
+		fmt.Print(prog.Disasm())
+		return
+	}
+
+	st := vm.NewState(prog, args, inputs)
+	m := vm.NewMachine(st, vm.NewRoundRobin())
+	start := time.Now()
+	res := m.Run(*budget)
+	dur := time.Since(start)
+
+	fmt.Print(st.RenderOutputs())
+	fmt.Fprintf(os.Stderr, "-- %s after %d instructions in %v\n", res.Kind, st.Steps, dur)
+	if res.Err != nil {
+		fmt.Fprintf(os.Stderr, "-- runtime error: %v\n", res.Err)
+		os.Exit(1)
+	}
+	if res.Kind == vm.StopDeadlock {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pilrun:", err)
+	os.Exit(1)
+}

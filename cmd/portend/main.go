@@ -1,0 +1,153 @@
+// Command portend is the end-to-end race detector and classifier: it runs
+// a PIL program under the happens-before detector, classifies every
+// distinct race into the four-category taxonomy of the paper (specViol /
+// outDiff / k-witness / singleOrd), and prints the debugging-aid reports
+// of §3.6, ordered by triage priority.
+//
+// Usage:
+//
+//	portend [-args 1,2] [-inputs 3,4] [-mp 5] [-ma 2] [-sym 2] prog.pil
+//	portend -workload pbzip2
+//	portend -workload memcached -whatif
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/bytecode"
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/workloads"
+)
+
+func parseInts(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	argsFlag := flag.String("args", "", "comma-separated program arguments")
+	inputsFlag := flag.String("inputs", "", "comma-separated input log values")
+	mp := flag.Int("mp", 5, "max primary paths (Mp)")
+	ma := flag.Int("ma", 2, "alternate schedules per primary (Ma)")
+	sym := flag.Int("sym", 2, "number of symbolic inputs")
+	workload := flag.String("workload", "", "analyze a built-in workload")
+	whatIf := flag.Bool("whatif", false, "run the workload's what-if analysis (remove its designated locks)")
+	verbose := flag.Bool("v", false, "print full debugging-aid reports")
+	flag.Parse()
+
+	opts := core.DefaultOptions()
+	opts.Mp, opts.Ma, opts.SymbolicInputs = *mp, *ma, *sym
+
+	args, err := parseInts(*argsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	inputs, err := parseInts(*inputsFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	var prog *bytecode.Program
+	var source, name string
+	var whatIfLines []int
+
+	if *workload != "" {
+		w := workloads.ByName(*workload)
+		if w == nil {
+			fatal(fmt.Errorf("unknown workload %q (have: sqlite ocean fmm memcached pbzip2 ctrace bbuf avv dcl dbm rw)", *workload))
+		}
+		prog = w.Compile()
+		source, name, whatIfLines = w.Source, w.Name, w.WhatIfLines
+		if args == nil {
+			args = w.Args
+		}
+		if inputs == nil {
+			inputs = w.Inputs
+		}
+		if w.Predicates != nil {
+			opts.Predicates = w.Predicates(prog)
+		}
+	} else {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: portend [flags] prog.pil (or -workload name)")
+			os.Exit(2)
+		}
+		raw, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		source, name = string(raw), flag.Arg(0)
+		ast, err := lang.Parse(source)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err = bytecode.Compile(ast, name, bytecode.Options{})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *whatIf {
+		if len(whatIfLines) == 0 {
+			fatal(fmt.Errorf("workload has no designated what-if synchronization"))
+		}
+		res, err := core.WhatIf(source, name, whatIfLines, args, inputs, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("what-if: removed synchronization at lines %v\n", whatIfLines)
+		fmt.Printf("new races induced: %d\n\n", len(res.NewRaces))
+		printVerdicts(res.Modified, res.NewRaces, *verbose)
+		return
+	}
+
+	res := core.Run(prog, args, inputs, opts)
+	fmt.Printf("portend: %d distinct race(s) detected in %s\n\n", len(res.Verdicts), name)
+	printVerdicts(prog, res.Verdicts, *verbose)
+	for _, e := range res.Errors {
+		fmt.Fprintf(os.Stderr, "classification error: %v\n", e)
+	}
+}
+
+func printVerdicts(prog *bytecode.Program, vs []*core.Verdict, verbose bool) {
+	sorted := append([]*core.Verdict(nil), vs...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return core.HarmfulnessRank(sorted[i].Class) < core.HarmfulnessRank(sorted[j].Class)
+	})
+	for i, v := range sorted {
+		fmt.Printf("[%d] %s  —  %s\n", i+1, v.Race.ID(), v)
+		if verbose {
+			fmt.Println(indent(v.Report(prog), "    "))
+		}
+	}
+}
+
+func indent(s, pad string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = pad + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "portend:", err)
+	os.Exit(1)
+}

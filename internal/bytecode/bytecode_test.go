@@ -1,0 +1,232 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+)
+
+func mustProg(t *testing.T, src string, opts Options) *Program {
+	t.Helper()
+	ast, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := Compile(ast, "t", opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+func compileError(t *testing.T, src string) error {
+	t.Helper()
+	ast, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = Compile(ast, "t", Options{})
+	if err == nil {
+		t.Fatalf("expected compile error for %q", src)
+	}
+	return err
+}
+
+func TestCompileSimple(t *testing.T) {
+	p := mustProg(t, `
+var g = 5
+fn main() {
+	let x = g + 1
+	print("x=", x)
+}`, Options{})
+	if p.MainFunc != p.FuncID("main") {
+		t.Fatal("main not resolved")
+	}
+	if len(p.Globals) != 1 || p.Globals[0].Init != 5 {
+		t.Fatalf("globals: %+v", p.Globals)
+	}
+	if len(p.Prints) != 1 || len(p.Prints[0]) != 2 || p.Prints[0][0].Lit != "x=" || !p.Prints[0][1].IsExpr {
+		t.Fatalf("print descriptor: %+v", p.Prints)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"no-main", `fn helper() {}`, "no fn main"},
+		{"main-params", `fn main(x) {}`, "no parameters"},
+		{"undef-var", `fn main() { print(nope) }`, "undefined"},
+		{"undef-fn", `fn main() { frob() }`, "undefined function"},
+		{"arity", `fn f(a) { }
+fn main() { f(1, 2) }`, "want 1"},
+		{"spawn-arity", `fn f(a) { }
+fn main() { spawn f() }`, "want 1"},
+		{"dup-global", `var x
+var x
+fn main() {}`, "redeclared"},
+		{"dup-local", `fn main() { let a = 1; let a = 2 }`, "redeclared"},
+		{"scalar-indexed", `var s
+fn main() { s[0] = 1 }`, "not an array"},
+		{"array-unindexed", `var a[4]
+fn main() { a = 1 }`, "must be indexed"},
+		{"string-outside-print", `fn main() { let s = "hi" }`, "print argument"},
+		{"break-outside", `fn main() { break }`, "outside loop"},
+		{"bad-mutex", `fn main() { lock(m) }`, "undefined mutex"},
+		{"bad-cond", `mutex m
+fn main() { wait(c, m) }`, "undefined cond"},
+		{"nonconst-init", `var x = input()
+fn main() {}`, "constant expression"},
+		{"bad-barrier", `fn main() { barrier_wait(b) }`, "barrier name"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := compileError(t, tc.src)
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestWriteSetsTransitive(t *testing.T) {
+	p := mustProg(t, `
+var a = 0
+var b = 0
+var c[4]
+fn leaf() { b = 1 }
+fn mid() { leaf(); c[0] = 2 }
+fn main() { a = 1; mid() }`, Options{})
+	mainWS := p.WriteSet(p.FuncID("main"))
+	for _, g := range []string{"a", "b", "c"} {
+		if _, ok := mainWS[p.GlobalID(g)]; !ok {
+			t.Fatalf("main write set missing %s", g)
+		}
+	}
+	leafWS := p.WriteSet(p.FuncID("leaf"))
+	if _, ok := leafWS[p.GlobalID("a")]; ok {
+		t.Fatal("leaf should not write a")
+	}
+	if _, ok := leafWS[p.GlobalID("b")]; !ok {
+		t.Fatal("leaf writes b")
+	}
+}
+
+func TestWriteSetsThroughSpawn(t *testing.T) {
+	p := mustProg(t, `
+var flag = 0
+fn setter() { flag = 1 }
+fn main() { let t = spawn setter(); join(t) }`, Options{})
+	ws := p.WriteSet(p.FuncID("main"))
+	if _, ok := ws[p.GlobalID("flag")]; !ok {
+		t.Fatal("spawned writes must propagate to the spawner's write set")
+	}
+}
+
+func TestElideSync(t *testing.T) {
+	src := `mutex m
+var x = 0
+fn main() {
+	lock(m)
+	x = 1
+	unlock(m)
+}`
+	plain := mustProg(t, src, Options{})
+	hasLock := func(p *Program) bool {
+		for _, in := range p.Funcs[p.MainFunc].Code {
+			if in.Op == LOCK || in.Op == UNLOCK {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasLock(plain) {
+		t.Fatal("plain program should lock")
+	}
+	elided := mustProg(t, src, Options{ElideSyncAtLines: []int{4, 6}})
+	if hasLock(elided) {
+		t.Fatal("what-if compile should have elided the lock/unlock")
+	}
+}
+
+func TestDisasmRendering(t *testing.T) {
+	p := mustProg(t, `
+var g = 1
+mutex m
+fn main() { lock(m); g += 1; unlock(m); print(g) }`, Options{})
+	d := p.Disasm()
+	for _, want := range []string{"fn main", "LOCK 0", "LOADG 0", "STOREG 0", "PRINT 0"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("disasm missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestCountLOC(t *testing.T) {
+	src := `
+// comment only
+var x = 1
+
+fn main() {
+	/* block
+	   comment */
+	print(x) // trailing
+}
+`
+	// Counted lines: var, fn main, print, closing brace.
+	if n := CountLOC(src); n != 4 {
+		t.Fatalf("LOC = %d, want 4", n)
+	}
+}
+
+func TestOpcodePredicates(t *testing.T) {
+	if !LOADG.IsSharedAccess() || !STOREE.IsSharedAccess() || !FREE.IsSharedAccess() {
+		t.Fatal("shared access predicate wrong")
+	}
+	if LOADL.IsSharedAccess() || PUSH.IsSharedAccess() {
+		t.Fatal("locals are not shared accesses")
+	}
+	if !STOREG.IsSharedWrite() || LOADG.IsSharedWrite() {
+		t.Fatal("shared write predicate wrong")
+	}
+	if !LOCK.IsSyncOp() || !YIELD.IsSyncOp() || ADD.IsSyncOp() {
+		t.Fatal("sync op predicate wrong")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	if (Instr{Op: PUSH, A: 42}).String() != "PUSH 42" {
+		t.Fatal("push render")
+	}
+	if (Instr{Op: CALL, A: 1, B: 2}).String() != "CALL 1,2" {
+		t.Fatal("call render")
+	}
+	if (Instr{Op: ADD}).String() != "ADD" {
+		t.Fatal("add render")
+	}
+}
+
+func TestFormatPC(t *testing.T) {
+	p := mustProg(t, `fn main() { yield() }`, Options{})
+	s := p.FormatPC(PCRef{Fn: p.MainFunc, PC: 0, Line: 1})
+	if !strings.Contains(s, "main:0") || !strings.Contains(s, "t.pil:1") {
+		t.Fatalf("got %q", s)
+	}
+}
+
+func TestLookupHelpers(t *testing.T) {
+	p := mustProg(t, `
+var g
+mutex mu
+fn main() {}`, Options{})
+	if p.GlobalID("g") != 0 || p.GlobalID("zzz") != -1 {
+		t.Fatal("GlobalID wrong")
+	}
+	if p.MutexID("mu") != 0 || p.MutexID("zzz") != -1 {
+		t.Fatal("MutexID wrong")
+	}
+	if p.FuncID("main") < 0 || p.FuncID("zzz") != -1 {
+		t.Fatal("FuncID wrong")
+	}
+}

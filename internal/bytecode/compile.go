@@ -1,0 +1,834 @@
+package bytecode
+
+import (
+	"fmt"
+
+	"repro/internal/lang"
+)
+
+// Options control compilation.
+type Options struct {
+	// ElideSyncAtLines removes LOCK/UNLOCK instructions whose source line
+	// is listed. This implements the paper's "what-if analysis" (§5.1):
+	// turning a synchronization operation into a no-op to ask whether it
+	// is safe to remove (e.g. to reduce lock contention).
+	ElideSyncAtLines []int
+}
+
+// CompileError is a semantic error with a source position.
+type CompileError struct {
+	Pos lang.Pos
+	Msg string
+}
+
+func (e *CompileError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func cerrf(pos lang.Pos, format string, args ...any) *CompileError {
+	return &CompileError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Compile lowers a parsed PIL program to bytecode.
+func Compile(src *lang.Program, name string, opts Options) (*Program, error) {
+	c := &compiler{
+		prog:  &Program{Name: name},
+		elide: map[int]bool{},
+	}
+	for _, l := range opts.ElideSyncAtLines {
+		c.elide[l] = true
+	}
+
+	// Declarations first, so functions can reference anything.
+	seen := map[string]string{}
+	declare := func(pos lang.Pos, kind, n string) error {
+		if prev, dup := seen[n]; dup {
+			return cerrf(pos, "%s %q redeclared (previously a %s)", kind, n, prev)
+		}
+		seen[n] = kind
+		return nil
+	}
+	for _, g := range src.Globals {
+		if err := declare(g.Pos, "global", g.Name); err != nil {
+			return nil, err
+		}
+		size := g.Size
+		if size == 0 {
+			size = 1
+		}
+		init := int64(0)
+		if g.Init != nil {
+			v, ok := constFold(g.Init)
+			if !ok {
+				return nil, cerrf(g.Pos, "global initializer for %q must be a constant expression", g.Name)
+			}
+			init = v
+		}
+		c.prog.Globals = append(c.prog.Globals, Global{Name: g.Name, Size: size, Init: init})
+		c.globals = append(c.globals, g.Size > 0)
+	}
+	for _, m := range src.Mutexes {
+		if err := declare(m.Pos, "mutex", m.Name); err != nil {
+			return nil, err
+		}
+		c.prog.Mutexes = append(c.prog.Mutexes, m.Name)
+	}
+	for _, cd := range src.Conds {
+		if err := declare(cd.Pos, "cond", cd.Name); err != nil {
+			return nil, err
+		}
+		c.prog.Conds = append(c.prog.Conds, cd.Name)
+	}
+	for _, b := range src.Barriers {
+		if err := declare(b.Pos, "barrier", b.Name); err != nil {
+			return nil, err
+		}
+		c.prog.Barriers = append(c.prog.Barriers, BarrierDef{Name: b.Name, Count: b.Count})
+	}
+	for _, f := range src.Funcs {
+		if err := declare(f.Pos, "fn", f.Name); err != nil {
+			return nil, err
+		}
+		c.prog.Funcs = append(c.prog.Funcs, Func{Name: f.Name, NParams: len(f.Params)})
+	}
+
+	for i, f := range src.Funcs {
+		if err := c.compileFunc(i, f); err != nil {
+			return nil, err
+		}
+	}
+
+	main := c.prog.FuncID("main")
+	if main < 0 {
+		return nil, cerrf(lang.Pos{Line: 1, Col: 1}, "program has no fn main")
+	}
+	if c.prog.Funcs[main].NParams != 0 {
+		return nil, cerrf(src.Funcs[main].Pos, "fn main must take no parameters")
+	}
+	c.prog.MainFunc = main
+	c.prog.computeWriteSets()
+	return c.prog, nil
+}
+
+// MustCompile parses and compiles src, panicking on error. Intended for
+// workload sources that are compile-time string constants.
+func MustCompile(srcText, name string, opts Options) *Program {
+	ast, err := lang.Parse(srcText)
+	if err != nil {
+		panic(fmt.Sprintf("bytecode.MustCompile(%s): %v", name, err))
+	}
+	p, err := Compile(ast, name, opts)
+	if err != nil {
+		panic(fmt.Sprintf("bytecode.MustCompile(%s): %v", name, err))
+	}
+	return p
+}
+
+func constFold(e lang.Expr) (int64, bool) {
+	switch v := e.(type) {
+	case *lang.IntLit:
+		return v.Val, true
+	case *lang.UnaryExpr:
+		x, ok := constFold(v.X)
+		if !ok {
+			return 0, false
+		}
+		switch v.Op {
+		case lang.MINUS:
+			return -x, true
+		case lang.TILDE:
+			return ^x, true
+		case lang.NOT:
+			if x == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+	}
+	return 0, false
+}
+
+type scope struct {
+	parent *scope
+	vars   map[string]int
+}
+
+func (s *scope) lookup(name string) (int, bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if slot, ok := sc.vars[name]; ok {
+			return slot, true
+		}
+	}
+	return -1, false
+}
+
+type loopCtx struct {
+	breakPatches []int
+	contTarget   int // -1 until known (for loops patch later)
+	contPatches  []int
+}
+
+type compiler struct {
+	prog    *Program
+	globals []bool // per-global: is array
+	elide   map[int]bool
+
+	// per-function state
+	fn     *Func
+	fnIdx  int
+	scope  *scope
+	nSlots int
+	loops  []*loopCtx
+}
+
+func (c *compiler) emit(pos lang.Pos, op OpCode, a int64, b int32) int {
+	c.fn.Code = append(c.fn.Code, Instr{Op: op, A: a, B: b, Line: int32(pos.Line)})
+	return len(c.fn.Code) - 1
+}
+
+func (c *compiler) patch(at int, target int) {
+	c.fn.Code[at].A = int64(target)
+}
+
+func (c *compiler) here() int { return len(c.fn.Code) }
+
+func (c *compiler) newSlot() int {
+	s := c.nSlots
+	c.nSlots++
+	return s
+}
+
+func (c *compiler) compileFunc(idx int, f *lang.FuncDecl) error {
+	c.fn = &c.prog.Funcs[idx]
+	c.fnIdx = idx
+	c.nSlots = 0
+	c.scope = &scope{vars: map[string]int{}}
+	c.loops = nil
+	for _, p := range f.Params {
+		if _, dup := c.scope.vars[p]; dup {
+			return cerrf(f.Pos, "duplicate parameter %q", p)
+		}
+		c.scope.vars[p] = c.newSlot()
+	}
+	if err := c.compileBlock(f.Body); err != nil {
+		return err
+	}
+	// Implicit `return 0`.
+	end := lang.Pos{Line: f.Pos.Line, Col: f.Pos.Col}
+	if n := len(f.Body.Stmts); n > 0 {
+		end = f.Body.Stmts[n-1].(lang.Stmt).StmtPos()
+	}
+	c.emit(end, PUSH, 0, 0)
+	c.emit(end, RET, 0, 0)
+	c.fn.NLocals = c.nSlots
+	return nil
+}
+
+func (c *compiler) compileBlock(b *lang.Block) error {
+	c.scope = &scope{parent: c.scope, vars: map[string]int{}}
+	defer func() { c.scope = c.scope.parent }()
+	for _, s := range b.Stmts {
+		if err := c.compileStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *compiler) compileStmt(s lang.Stmt) error {
+	switch st := s.(type) {
+	case *lang.Block:
+		return c.compileBlock(st)
+
+	case *lang.LetStmt:
+		if _, dup := c.scope.vars[st.Name]; dup {
+			return cerrf(st.Pos, "local %q redeclared in this block", st.Name)
+		}
+		if err := c.compileExpr(st.Init); err != nil {
+			return err
+		}
+		slot := c.newSlot()
+		c.scope.vars[st.Name] = slot
+		c.emit(st.Pos, STOREL, int64(slot), 0)
+		return nil
+
+	case *lang.AssignStmt:
+		return c.compileAssign(st)
+
+	case *lang.IfStmt:
+		return c.compileIf(st)
+
+	case *lang.WhileStmt:
+		c.loops = append(c.loops, &loopCtx{contTarget: -1})
+		lc := c.loops[len(c.loops)-1]
+		cond := c.here()
+		lc.contTarget = cond
+		if err := c.compileExpr(st.Cond); err != nil {
+			return err
+		}
+		jz := c.emit(st.Pos, JZ, 0, 0)
+		if err := c.compileBlock(st.Body); err != nil {
+			return err
+		}
+		c.emit(st.Pos, JMP, int64(cond), 0)
+		end := c.here()
+		c.patch(jz, end)
+		for _, p := range lc.breakPatches {
+			c.patch(p, end)
+		}
+		for _, p := range lc.contPatches {
+			c.patch(p, cond)
+		}
+		c.loops = c.loops[:len(c.loops)-1]
+		return nil
+
+	case *lang.ForStmt:
+		// for i = lo, hi { body }  ≡  let i = lo; while i < hi { body; i += 1 }
+		c.scope = &scope{parent: c.scope, vars: map[string]int{}}
+		defer func() { c.scope = c.scope.parent }()
+		if err := c.compileExpr(st.From); err != nil {
+			return err
+		}
+		iSlot := c.newSlot()
+		c.scope.vars[st.Var] = iSlot
+		c.emit(st.Pos, STOREL, int64(iSlot), 0)
+		// Evaluate the bound once.
+		if err := c.compileExpr(st.To); err != nil {
+			return err
+		}
+		hiSlot := c.newSlot()
+		c.emit(st.Pos, STOREL, int64(hiSlot), 0)
+
+		c.loops = append(c.loops, &loopCtx{contTarget: -1})
+		lc := c.loops[len(c.loops)-1]
+		cond := c.here()
+		c.emit(st.Pos, LOADL, int64(iSlot), 0)
+		c.emit(st.Pos, LOADL, int64(hiSlot), 0)
+		c.emit(st.Pos, LT, 0, 0)
+		jz := c.emit(st.Pos, JZ, 0, 0)
+		if err := c.compileBlock(st.Body); err != nil {
+			return err
+		}
+		cont := c.here()
+		c.emit(st.Pos, LOADL, int64(iSlot), 0)
+		c.emit(st.Pos, PUSH, 1, 0)
+		c.emit(st.Pos, ADD, 0, 0)
+		c.emit(st.Pos, STOREL, int64(iSlot), 0)
+		c.emit(st.Pos, JMP, int64(cond), 0)
+		end := c.here()
+		c.patch(jz, end)
+		for _, p := range lc.breakPatches {
+			c.patch(p, end)
+		}
+		for _, p := range lc.contPatches {
+			c.patch(p, cont)
+		}
+		c.loops = c.loops[:len(c.loops)-1]
+		return nil
+
+	case *lang.ReturnStmt:
+		if st.Value != nil {
+			if err := c.compileExpr(st.Value); err != nil {
+				return err
+			}
+		} else {
+			c.emit(st.Pos, PUSH, 0, 0)
+		}
+		c.emit(st.Pos, RET, 0, 0)
+		return nil
+
+	case *lang.BreakStmt:
+		if len(c.loops) == 0 {
+			return cerrf(st.Pos, "break outside loop")
+		}
+		lc := c.loops[len(c.loops)-1]
+		lc.breakPatches = append(lc.breakPatches, c.emit(st.Pos, JMP, 0, 0))
+		return nil
+
+	case *lang.ContinueStmt:
+		if len(c.loops) == 0 {
+			return cerrf(st.Pos, "continue outside loop")
+		}
+		lc := c.loops[len(c.loops)-1]
+		lc.contPatches = append(lc.contPatches, c.emit(st.Pos, JMP, 0, 0))
+		return nil
+
+	case *lang.ExprStmt:
+		pushes, err := c.compileExprMaybeVoid(st.X)
+		if err != nil {
+			return err
+		}
+		if pushes {
+			c.emit(st.Pos, POP, 0, 0)
+		}
+		return nil
+	}
+	return cerrf(s.(lang.Stmt).StmtPos(), "unsupported statement")
+}
+
+func (c *compiler) compileIf(st *lang.IfStmt) error {
+	if err := c.compileExpr(st.Cond); err != nil {
+		return err
+	}
+	jz := c.emit(st.Pos, JZ, 0, 0)
+	if err := c.compileBlock(st.Then); err != nil {
+		return err
+	}
+	if st.Else == nil {
+		c.patch(jz, c.here())
+		return nil
+	}
+	jend := c.emit(st.Pos, JMP, 0, 0)
+	c.patch(jz, c.here())
+	if err := c.compileStmt(st.Else); err != nil {
+		return err
+	}
+	c.patch(jend, c.here())
+	return nil
+}
+
+func (c *compiler) compileAssign(st *lang.AssignStmt) error {
+	switch tgt := st.Target.(type) {
+	case *lang.VarRef:
+		if slot, ok := c.scope.lookup(tgt.Name); ok {
+			if st.Op != lang.AssignSet {
+				c.emit(st.Pos, LOADL, int64(slot), 0)
+			}
+			if err := c.compileExpr(st.Value); err != nil {
+				return err
+			}
+			c.emitCompound(st.Pos, st.Op)
+			c.emit(st.Pos, STOREL, int64(slot), 0)
+			return nil
+		}
+		gid := c.prog.GlobalID(tgt.Name)
+		if gid < 0 {
+			return cerrf(tgt.Pos, "undefined variable %q", tgt.Name)
+		}
+		if c.globals[gid] {
+			return cerrf(tgt.Pos, "array %q must be indexed", tgt.Name)
+		}
+		if st.Op != lang.AssignSet {
+			// A racy read-modify-write, exactly like the `id++` in Fig 4.
+			c.emit(st.Pos, LOADG, int64(gid), 0)
+		}
+		if err := c.compileExpr(st.Value); err != nil {
+			return err
+		}
+		c.emitCompound(st.Pos, st.Op)
+		c.emit(st.Pos, STOREG, int64(gid), 0)
+		return nil
+
+	case *lang.IndexExpr:
+		if slot, ok := c.scope.lookup(tgt.Name); ok {
+			// Heap store through a local ref: ref, idx, value.
+			idxTmp := c.newSlot()
+			if err := c.compileExpr(tgt.Index); err != nil {
+				return err
+			}
+			c.emit(st.Pos, STOREL, int64(idxTmp), 0)
+			c.emit(st.Pos, LOADL, int64(slot), 0)
+			c.emit(st.Pos, LOADL, int64(idxTmp), 0)
+			if st.Op != lang.AssignSet {
+				c.emit(st.Pos, LOADL, int64(slot), 0)
+				c.emit(st.Pos, LOADL, int64(idxTmp), 0)
+				c.emit(st.Pos, LOADH, 0, 0)
+			}
+			if err := c.compileExpr(st.Value); err != nil {
+				return err
+			}
+			c.emitCompound(st.Pos, st.Op)
+			c.emit(st.Pos, STOREH, 0, 0)
+			return nil
+		}
+		gid := c.prog.GlobalID(tgt.Name)
+		if gid < 0 {
+			return cerrf(tgt.Pos, "undefined variable %q", tgt.Name)
+		}
+		if !c.globals[gid] {
+			return cerrf(tgt.Pos, "%q is a scalar, not an array", tgt.Name)
+		}
+		idxTmp := c.newSlot()
+		if err := c.compileExpr(tgt.Index); err != nil {
+			return err
+		}
+		c.emit(st.Pos, STOREL, int64(idxTmp), 0)
+		c.emit(st.Pos, LOADL, int64(idxTmp), 0)
+		if st.Op != lang.AssignSet {
+			c.emit(st.Pos, LOADL, int64(idxTmp), 0)
+			c.emit(st.Pos, LOADE, int64(gid), 0)
+		}
+		if err := c.compileExpr(st.Value); err != nil {
+			return err
+		}
+		c.emitCompound(st.Pos, st.Op)
+		c.emit(st.Pos, STOREE, int64(gid), 0)
+		return nil
+	}
+	return cerrf(st.Pos, "invalid assignment target")
+}
+
+// emitCompound emits the ADD/SUB for += / -=; for plain = it is a no-op.
+func (c *compiler) emitCompound(pos lang.Pos, op lang.AssignOp) {
+	switch op {
+	case lang.AssignAdd:
+		c.emit(pos, ADD, 0, 0)
+	case lang.AssignSub:
+		c.emit(pos, SUB, 0, 0)
+	}
+}
+
+// compileExpr compiles an expression that must produce a value.
+func (c *compiler) compileExpr(e lang.Expr) error {
+	pushes, err := c.compileExprMaybeVoid(e)
+	if err != nil {
+		return err
+	}
+	if !pushes {
+		return cerrf(e.(lang.Expr).ExprPos(), "expression has no value")
+	}
+	return nil
+}
+
+// compileExprMaybeVoid compiles an expression, reporting whether it pushed
+// a value (void builtins like lock() do not).
+func (c *compiler) compileExprMaybeVoid(e lang.Expr) (bool, error) {
+	switch ex := e.(type) {
+	case *lang.IntLit:
+		c.emit(ex.Pos, PUSH, ex.Val, 0)
+		return true, nil
+
+	case *lang.StrLit:
+		return false, cerrf(ex.Pos, "string literal is only allowed as a print argument")
+
+	case *lang.VarRef:
+		if slot, ok := c.scope.lookup(ex.Name); ok {
+			c.emit(ex.Pos, LOADL, int64(slot), 0)
+			return true, nil
+		}
+		gid := c.prog.GlobalID(ex.Name)
+		if gid < 0 {
+			return false, cerrf(ex.Pos, "undefined variable %q", ex.Name)
+		}
+		if c.globals[gid] {
+			return false, cerrf(ex.Pos, "array %q must be indexed", ex.Name)
+		}
+		c.emit(ex.Pos, LOADG, int64(gid), 0)
+		return true, nil
+
+	case *lang.IndexExpr:
+		if slot, ok := c.scope.lookup(ex.Name); ok {
+			c.emit(ex.Pos, LOADL, int64(slot), 0)
+			if err := c.compileExpr(ex.Index); err != nil {
+				return false, err
+			}
+			c.emit(ex.Pos, LOADH, 0, 0)
+			return true, nil
+		}
+		gid := c.prog.GlobalID(ex.Name)
+		if gid < 0 {
+			return false, cerrf(ex.Pos, "undefined variable %q", ex.Name)
+		}
+		if !c.globals[gid] {
+			return false, cerrf(ex.Pos, "%q is a scalar, not an array", ex.Name)
+		}
+		if err := c.compileExpr(ex.Index); err != nil {
+			return false, err
+		}
+		c.emit(ex.Pos, LOADE, int64(gid), 0)
+		return true, nil
+
+	case *lang.UnaryExpr:
+		if err := c.compileExpr(ex.X); err != nil {
+			return false, err
+		}
+		switch ex.Op {
+		case lang.MINUS:
+			c.emit(ex.Pos, NEG, 0, 0)
+		case lang.NOT:
+			c.emit(ex.Pos, LNOT, 0, 0)
+		case lang.TILDE:
+			c.emit(ex.Pos, BNOT, 0, 0)
+		default:
+			return false, cerrf(ex.Pos, "bad unary operator")
+		}
+		return true, nil
+
+	case *lang.BinaryExpr:
+		return true, c.compileBinary(ex)
+
+	case *lang.SpawnExpr:
+		fid := c.prog.FuncID(ex.Name)
+		if fid < 0 {
+			return false, cerrf(ex.Pos, "spawn of undefined function %q", ex.Name)
+		}
+		if want := c.prog.Funcs[fid].NParams; want != len(ex.Args) {
+			return false, cerrf(ex.Pos, "spawn %s: %d args, want %d", ex.Name, len(ex.Args), want)
+		}
+		for _, a := range ex.Args {
+			if err := c.compileExpr(a); err != nil {
+				return false, err
+			}
+		}
+		c.emit(ex.Pos, SPAWN, int64(fid), int32(len(ex.Args)))
+		return true, nil
+
+	case *lang.CallExpr:
+		return c.compileCall(ex)
+	}
+	return false, cerrf(e.(lang.Expr).ExprPos(), "unsupported expression")
+}
+
+func (c *compiler) compileBinary(ex *lang.BinaryExpr) error {
+	// Short-circuit logical operators compile to branches so that symbolic
+	// conditions fork exactly as they would in KLEE.
+	switch ex.Op {
+	case lang.LAND:
+		if err := c.compileExpr(ex.L); err != nil {
+			return err
+		}
+		jz := c.emit(ex.Pos, JZ, 0, 0)
+		if err := c.compileExpr(ex.R); err != nil {
+			return err
+		}
+		c.emit(ex.Pos, NEZ, 0, 0)
+		jend := c.emit(ex.Pos, JMP, 0, 0)
+		c.patch(jz, c.here())
+		c.emit(ex.Pos, PUSH, 0, 0)
+		c.patch(jend, c.here())
+		return nil
+	case lang.LOR:
+		if err := c.compileExpr(ex.L); err != nil {
+			return err
+		}
+		jz := c.emit(ex.Pos, JZ, 0, 0)
+		c.emit(ex.Pos, PUSH, 1, 0)
+		jend := c.emit(ex.Pos, JMP, 0, 0)
+		c.patch(jz, c.here())
+		if err := c.compileExpr(ex.R); err != nil {
+			return err
+		}
+		c.emit(ex.Pos, NEZ, 0, 0)
+		c.patch(jend, c.here())
+		return nil
+	}
+
+	if err := c.compileExpr(ex.L); err != nil {
+		return err
+	}
+	if err := c.compileExpr(ex.R); err != nil {
+		return err
+	}
+	var op OpCode
+	switch ex.Op {
+	case lang.PLUS:
+		op = ADD
+	case lang.MINUS:
+		op = SUB
+	case lang.STAR:
+		op = MUL
+	case lang.SLASH:
+		op = DIV
+	case lang.PERCENT:
+		op = MOD
+	case lang.AMP:
+		op = BAND
+	case lang.PIPE:
+		op = BOR
+	case lang.CARET:
+		op = BXOR
+	case lang.SHL:
+		op = SHL
+	case lang.SHR:
+		op = SHR
+	case lang.EQ:
+		op = EQ
+	case lang.NE:
+		op = NE
+	case lang.LT:
+		op = LT
+	case lang.LE:
+		op = LE
+	case lang.GT:
+		op = GT
+	case lang.GE:
+		op = GE
+	default:
+		return cerrf(ex.Pos, "bad binary operator")
+	}
+	c.emit(ex.Pos, op, 0, 0)
+	return nil
+}
+
+// builtinSig describes a builtin: argument count and whether it produces a
+// value.
+type builtinSig struct {
+	args     int
+	hasValue bool
+}
+
+var builtins = map[string]builtinSig{
+	"input":        {0, true},
+	"arg":          {1, true},
+	"alloc":        {1, true},
+	"free":         {1, false},
+	"assert":       {1, false},
+	"yield":        {0, false},
+	"sleep":        {1, false},
+	"usleep":       {1, false},
+	"join":         {1, false},
+	"lock":         {1, false},
+	"unlock":       {1, false},
+	"wait":         {2, false},
+	"signal":       {1, false},
+	"broadcast":    {1, false},
+	"barrier_wait": {1, false},
+	// print is variadic and handled separately
+}
+
+func (c *compiler) compileCall(ex *lang.CallExpr) (bool, error) {
+	if ex.Name == "print" {
+		return false, c.compilePrint(ex)
+	}
+	if sig, ok := builtins[ex.Name]; ok {
+		if len(ex.Args) != sig.args {
+			return false, cerrf(ex.Pos, "%s takes %d argument(s), got %d", ex.Name, sig.args, len(ex.Args))
+		}
+		return sig.hasValue, c.compileBuiltin(ex)
+	}
+	fid := c.prog.FuncID(ex.Name)
+	if fid < 0 {
+		return false, cerrf(ex.Pos, "call of undefined function %q", ex.Name)
+	}
+	if want := c.prog.Funcs[fid].NParams; want != len(ex.Args) {
+		return false, cerrf(ex.Pos, "call %s: %d args, want %d", ex.Name, len(ex.Args), want)
+	}
+	for _, a := range ex.Args {
+		if err := c.compileExpr(a); err != nil {
+			return false, err
+		}
+	}
+	c.emit(ex.Pos, CALL, int64(fid), int32(len(ex.Args)))
+	return true, nil
+}
+
+func (c *compiler) compileBuiltin(ex *lang.CallExpr) error {
+	// Sync-object arguments must be static names.
+	syncID := func(kind string, list []string, arg lang.Expr) (int64, error) {
+		ref, ok := arg.(*lang.VarRef)
+		if !ok {
+			return 0, cerrf(ex.Pos, "%s expects a %s name", ex.Name, kind)
+		}
+		for i, n := range list {
+			if n == ref.Name {
+				return int64(i), nil
+			}
+		}
+		return 0, cerrf(ref.Pos, "undefined %s %q", kind, ref.Name)
+	}
+
+	switch ex.Name {
+	case "input":
+		c.emit(ex.Pos, INPUT, 0, 0)
+	case "arg":
+		if err := c.compileExpr(ex.Args[0]); err != nil {
+			return err
+		}
+		c.emit(ex.Pos, ARG, 0, 0)
+	case "alloc":
+		if err := c.compileExpr(ex.Args[0]); err != nil {
+			return err
+		}
+		c.emit(ex.Pos, ALLOC, 0, 0)
+	case "free":
+		if err := c.compileExpr(ex.Args[0]); err != nil {
+			return err
+		}
+		c.emit(ex.Pos, FREE, 0, 0)
+	case "assert":
+		if err := c.compileExpr(ex.Args[0]); err != nil {
+			return err
+		}
+		c.emit(ex.Pos, ASSERT, 0, 0)
+	case "yield":
+		c.emit(ex.Pos, YIELD, 0, 0)
+	case "sleep", "usleep":
+		if err := c.compileExpr(ex.Args[0]); err != nil {
+			return err
+		}
+		c.emit(ex.Pos, SLEEP, 0, 0)
+	case "join":
+		if err := c.compileExpr(ex.Args[0]); err != nil {
+			return err
+		}
+		c.emit(ex.Pos, JOIN, 0, 0)
+	case "lock", "unlock":
+		id, err := syncID("mutex", c.prog.Mutexes, ex.Args[0])
+		if err != nil {
+			return err
+		}
+		op := LOCK
+		if ex.Name == "unlock" {
+			op = UNLOCK
+		}
+		if c.elide[ex.Pos.Line] {
+			// What-if analysis: this synchronization is no-op'ed.
+			c.emit(ex.Pos, NOP, 0, 0)
+			return nil
+		}
+		c.emit(ex.Pos, op, id, 0)
+	case "wait":
+		cid, err := syncID("cond", c.prog.Conds, ex.Args[0])
+		if err != nil {
+			return err
+		}
+		mid, err := syncID("mutex", c.prog.Mutexes, ex.Args[1])
+		if err != nil {
+			return err
+		}
+		c.emit(ex.Pos, WAIT, cid, int32(mid))
+	case "signal", "broadcast":
+		cid, err := syncID("cond", c.prog.Conds, ex.Args[0])
+		if err != nil {
+			return err
+		}
+		op := SIGNAL
+		if ex.Name == "broadcast" {
+			op = BROADCAST
+		}
+		c.emit(ex.Pos, op, cid, 0)
+	case "barrier_wait":
+		bid := int64(-1)
+		if ref, ok := ex.Args[0].(*lang.VarRef); ok {
+			for i, b := range c.prog.Barriers {
+				if b.Name == ref.Name {
+					bid = int64(i)
+				}
+			}
+		}
+		if bid < 0 {
+			return cerrf(ex.Pos, "barrier_wait expects a barrier name")
+		}
+		c.emit(ex.Pos, BARRIER, bid, 0)
+	default:
+		return cerrf(ex.Pos, "unknown builtin %q", ex.Name)
+	}
+	return nil
+}
+
+func (c *compiler) compilePrint(ex *lang.CallExpr) error {
+	var desc []PrintPart
+	nexprs := 0
+	for _, a := range ex.Args {
+		if s, ok := a.(*lang.StrLit); ok {
+			desc = append(desc, PrintPart{Lit: s.Val})
+			continue
+		}
+		if err := c.compileExpr(a); err != nil {
+			return err
+		}
+		desc = append(desc, PrintPart{IsExpr: true})
+		nexprs++
+	}
+	c.prog.Prints = append(c.prog.Prints, desc)
+	c.emit(ex.Pos, PRINT, int64(len(c.prog.Prints)-1), int32(nexprs))
+	return nil
+}

@@ -1,0 +1,162 @@
+// Package bytecode defines the PIL virtual instruction set and the compiler
+// that lowers a parsed PIL program (internal/lang) to it. The bytecode plays
+// the role of LLVM bitcode in the paper: it is the representation the
+// Portend VM interprets, on which races are detected (shared accesses are
+// explicit LOADG/STOREG/LOADE/STOREE/LOADH/STOREH instructions) and from
+// which schedule traces are recorded via per-thread instruction counts.
+package bytecode
+
+import "fmt"
+
+// OpCode is a PIL virtual machine opcode. The machine is a stack machine;
+// every value on the operand stack is a symbolic expression (concrete
+// values are constant expressions).
+type OpCode uint8
+
+// Opcodes.
+const (
+	NOP OpCode = iota
+
+	// stack
+	PUSH // push constant A
+	POP  // drop top of stack
+	DUP  // duplicate top of stack
+
+	// locals (thread-private; never racy)
+	LOADL  // push locals[A]
+	STOREL // locals[A] = pop
+
+	// shared globals (racy accesses)
+	LOADG  // push globals[A]           (A = global id, scalar)
+	STOREG // globals[A] = pop
+	LOADE  // idx = pop; push global A[idx]
+	STOREE // v = pop; idx = pop; global A[idx] = v
+
+	// heap (racy accesses; refs are opaque handles produced by ALLOC)
+	ALLOC  // n = pop; push new ref of n cells
+	FREE   // ref = pop; free block (double free is a runtime error)
+	LOADH  // idx = pop; ref = pop; push heap[ref][idx]
+	STOREH // v = pop; idx = pop; ref = pop; heap[ref][idx] = v
+
+	// arithmetic / logic (operate on popped operands, push result)
+	ADD
+	SUB
+	MUL
+	DIV
+	MOD
+	BAND
+	BOR
+	BXOR
+	SHL
+	SHR
+	EQ
+	NE
+	LT
+	LE
+	GT
+	GE
+	NEG
+	BNOT
+	LNOT
+	NEZ // normalize to 0/1
+
+	// control flow
+	JMP  // jump to pc A
+	JZ   // cond = pop; jump to pc A when cond == 0 (symbolic: fork point)
+	CALL // call function A with B args (popped; leftmost deepest)
+	RET  // return pop to caller (thread exits when last frame returns)
+
+	// threads and synchronization (scheduling points)
+	SPAWN     // start function A as a new thread with B popped args; push tid
+	JOIN      // tid = pop; block until that thread exits
+	LOCK      // acquire mutex A
+	UNLOCK    // release mutex A
+	WAIT      // wait on condvar A with mutex B (atomically release + block)
+	SIGNAL    // wake one waiter of condvar A
+	BROADCAST // wake all waiters of condvar A
+	BARRIER   // wait at barrier A until its participant count arrive
+	YIELD     // voluntary scheduling point
+	SLEEP     // n = pop; advisory sleep: scheduling point (no real time)
+
+	// environment ("system calls")
+	PRINT  // emit output record described by print descriptor A
+	INPUT  // push next input value (symbolic when inputs are marked)
+	ARG    // i = pop; push program argument i
+	ASSERT // cond = pop; runtime error when 0
+)
+
+var opNames = [...]string{
+	NOP: "NOP", PUSH: "PUSH", POP: "POP", DUP: "DUP",
+	LOADL: "LOADL", STOREL: "STOREL",
+	LOADG: "LOADG", STOREG: "STOREG", LOADE: "LOADE", STOREE: "STOREE",
+	ALLOC: "ALLOC", FREE: "FREE", LOADH: "LOADH", STOREH: "STOREH",
+	ADD: "ADD", SUB: "SUB", MUL: "MUL", DIV: "DIV", MOD: "MOD",
+	BAND: "BAND", BOR: "BOR", BXOR: "BXOR", SHL: "SHL", SHR: "SHR",
+	EQ: "EQ", NE: "NE", LT: "LT", LE: "LE", GT: "GT", GE: "GE",
+	NEG: "NEG", BNOT: "BNOT", LNOT: "LNOT", NEZ: "NEZ",
+	JMP: "JMP", JZ: "JZ", CALL: "CALL", RET: "RET",
+	SPAWN: "SPAWN", JOIN: "JOIN", LOCK: "LOCK", UNLOCK: "UNLOCK",
+	WAIT: "WAIT", SIGNAL: "SIGNAL", BROADCAST: "BROADCAST", BARRIER: "BARRIER",
+	YIELD: "YIELD", SLEEP: "SLEEP",
+	PRINT: "PRINT", INPUT: "INPUT", ARG: "ARG", ASSERT: "ASSERT",
+}
+
+// String returns the mnemonic.
+func (op OpCode) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("OP(%d)", uint8(op))
+}
+
+// IsSharedAccess reports whether the opcode reads or writes shared memory
+// (a potential racy access and preemption point).
+func (op OpCode) IsSharedAccess() bool {
+	switch op {
+	case LOADG, STOREG, LOADE, STOREE, LOADH, STOREH, FREE:
+		return true
+	}
+	return false
+}
+
+// IsSharedWrite reports whether the opcode writes shared memory.
+func (op OpCode) IsSharedWrite() bool {
+	switch op {
+	case STOREG, STOREE, STOREH, FREE:
+		return true
+	}
+	return false
+}
+
+// IsSyncOp reports whether the opcode is a synchronization operation (an
+// always-on preemption point, like POSIX calls in the paper).
+func (op OpCode) IsSyncOp() bool {
+	switch op {
+	case SPAWN, JOIN, LOCK, UNLOCK, WAIT, SIGNAL, BROADCAST, BARRIER, YIELD, SLEEP:
+		return true
+	}
+	return false
+}
+
+// Instr is a single instruction. A is the primary immediate (constant,
+// index, or jump target); B is the secondary immediate (argument count,
+// mutex id for WAIT).
+type Instr struct {
+	Op   OpCode
+	A    int64
+	B    int32
+	Line int32 // source line, for reports and what-if targeting
+}
+
+// String renders the instruction.
+func (in Instr) String() string {
+	switch in.Op {
+	case PUSH, LOADL, STOREL, LOADG, STOREG, LOADE, STOREE, LOADH, STOREH,
+		JMP, JZ, LOCK, UNLOCK, SIGNAL, BROADCAST, BARRIER, PRINT:
+		return fmt.Sprintf("%s %d", in.Op, in.A)
+	case CALL, SPAWN, WAIT:
+		return fmt.Sprintf("%s %d,%d", in.Op, in.A, in.B)
+	default:
+		return in.Op.String()
+	}
+}

@@ -1,0 +1,299 @@
+// Package core implements Portend's analysis and classification engine —
+// the paper's primary contribution (§3).
+//
+// Given a data race report (internal/race) and the schedule trace of the
+// execution that exposed it (internal/trace), the classifier predicts the
+// race's consequences and places it in the four-category taxonomy of §2.3
+// (Fig 1):
+//
+//	specViol   — an ordering violates the program's specification:
+//	             crash, deadlock, infinite loop, memory error, or a
+//	             semantic predicate supplied by the developer;
+//	outDiff    — the orderings can produce different program output;
+//	k-witness  — harmless for k = Mp×Ma path×schedule witnesses;
+//	singleOrd  — only one ordering is possible (ad-hoc synchronization).
+//
+// The analysis proceeds exactly as in the paper: single-pre/single-post
+// analysis (Algorithm 1) replays to the race, checkpoints, enforces the
+// alternate ordering of the racing accesses and observes both executions;
+// multi-path analysis (Algorithm 2) marks inputs symbolic and explores up
+// to Mp primary paths that follow the recorded schedule to the race;
+// multi-schedule analysis runs Ma randomized alternates per primary; and
+// symbolic output comparison checks each alternate's concrete outputs
+// against the primary's symbolic output constraints with the solver.
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"repro/internal/bytecode"
+	"repro/internal/expr"
+	"repro/internal/race"
+	"repro/internal/solver"
+	"repro/internal/vm"
+)
+
+// Class is the four-category race taxonomy of Fig 1.
+type Class uint8
+
+// Race classes.
+const (
+	// SpecViolated: at least one ordering violates the specification.
+	SpecViolated Class = iota
+	// OutputDiffers: the orderings can produce different output.
+	OutputDiffers
+	// KWitnessHarmless: harmless for k path-schedule witnesses.
+	KWitnessHarmless
+	// SingleOrdering: only one ordering is possible (ad-hoc sync).
+	SingleOrdering
+)
+
+var classNames = map[Class]string{
+	SpecViolated: "specViol", OutputDiffers: "outDiff",
+	KWitnessHarmless: "k-witness", SingleOrdering: "singleOrd",
+}
+
+// String returns the paper's short class name.
+func (c Class) String() string {
+	if s, ok := classNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Consequence refines SpecViolated for Table 2.
+type Consequence uint8
+
+// Consequence kinds.
+const (
+	ConsNone Consequence = iota
+	ConsDeadlock
+	ConsCrash
+	ConsHang
+	ConsSemantic
+)
+
+var consNames = map[Consequence]string{
+	ConsNone: "-", ConsDeadlock: "deadlock", ConsCrash: "crash",
+	ConsHang: "hang", ConsSemantic: "semantic",
+}
+
+// String names the consequence.
+func (c Consequence) String() string {
+	if s, ok := consNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("cons(%d)", uint8(c))
+}
+
+// Predicate is a "high level semantic property" (§3.5) supplied by the
+// developer; Check returns false when the property is violated.
+type Predicate struct {
+	Name  string
+	Check func(st *vm.State) bool
+}
+
+// GlobalPredicate builds a predicate over the hinted (concrete where
+// possible) value of a named global scalar; handy for properties like
+// "all timestamps are positive" (the fmm check of §5.1).
+func GlobalPredicate(name string, global int, check func(v int64) bool) Predicate {
+	return Predicate{
+		Name: name,
+		Check: func(st *vm.State) bool {
+			if global < 0 || global >= len(st.Globals) {
+				return true
+			}
+			v, err := st.HintEval(st.Globals[global][0])
+			if err != nil {
+				return true
+			}
+			return check(v)
+		},
+	}
+}
+
+// Options configure the classifier. The feature gates reproduce the
+// technique breakdown of Fig 7.
+type Options struct {
+	// Mp bounds the number of primary paths (§3.3); Ma the number of
+	// alternate schedules per primary (§3.4). k = Mp × Ma.
+	Mp, Ma int
+
+	// SymbolicInputs marks the first N input() reads symbolic;
+	// SymbolicArgs marks specific program arguments symbolic.
+	SymbolicInputs int
+	SymbolicArgs   []int
+
+	// EnforceBudget bounds the alternate-ordering enforcement (the
+	// paper's timeout, §4: "5 times what it took to replay the primary"
+	// — here an instruction budget). RunBudget bounds complete runs.
+	EnforceBudget int64
+	RunBudget     int64
+
+	// MaxForks bounds state forking during multi-path exploration.
+	MaxForks int
+
+	// Feature gates (Fig 7): ad-hoc synchronization detection, multi-path
+	// analysis, multi-schedule analysis, symbolic output comparison.
+	AdHocDetection bool
+	MultiPath      bool
+	MultiSchedule  bool
+	SymbolicOutput bool
+
+	// Predicates are developer-supplied semantic properties.
+	Predicates []Predicate
+
+	// Solver tunes the constraint solver budget.
+	Solver solver.Options
+
+	// Seed seeds the randomized alternate schedules.
+	Seed uint64
+}
+
+// DefaultOptions returns the configuration used throughout the
+// evaluation: Mp=5, Ma=2, 2 symbolic inputs (§5).
+func DefaultOptions() Options {
+	return Options{
+		Mp: 5, Ma: 2,
+		SymbolicInputs: 2,
+		EnforceBudget:  300_000,
+		RunBudget:      3_000_000,
+		MaxForks:       64,
+		AdHocDetection: true,
+		MultiPath:      true,
+		MultiSchedule:  true,
+		SymbolicOutput: true,
+		Seed:           1,
+	}
+}
+
+// Stats instruments one classification (Fig 9's axes).
+type Stats struct {
+	Preemptions   int // scheduling decisions in the recorded trace
+	Branches      int // symbolic ("dependent") branches encountered
+	SolverQueries int
+	PrimaryPaths  int
+	Alternates    int
+	Duration      time.Duration
+}
+
+// OutputDivergence is the evidence attached to an "output differs"
+// verdict: where the outputs first differ (§3.6).
+type OutputDivergence struct {
+	Index           int // output record index, -1 for count mismatch
+	Primary, Altern string
+	PrimaryN, AltN  int
+}
+
+// Verdict is the classification of one race.
+type Verdict struct {
+	Race  *race.Report
+	Class Class
+
+	// Consequence and detail for specViol races (Table 2).
+	Consequence Consequence
+	Detail      string
+
+	// K is the witness count for k-witness verdicts (k = paths ×
+	// schedules actually compared).
+	K int
+
+	// StatesDiffer reports whether the concrete post-race memory of the
+	// primary and alternate differed — the Record/Replay-Analyzer
+	// criterion recorded for Table 3's "states same/differ" columns.
+	StatesDiffer bool
+
+	// OutputDiff is evidence for outDiff verdicts.
+	OutputDiff *OutputDivergence
+
+	Stats Stats
+}
+
+// String renders a one-line summary.
+func (v *Verdict) String() string {
+	switch v.Class {
+	case SpecViolated:
+		return fmt.Sprintf("specViol(%s: %s)", v.Consequence, v.Detail)
+	case OutputDiffers:
+		if v.OutputDiff != nil {
+			return fmt.Sprintf("outDiff(at output %d)", v.OutputDiff.Index)
+		}
+		return "outDiff"
+	case KWitnessHarmless:
+		return fmt.Sprintf("k-witness(k=%d)", v.K)
+	case SingleOrdering:
+		return "singleOrd"
+	}
+	return "unknown"
+}
+
+// OutputHash hash-chains the concrete rendering of outputs into a single
+// code, the mechanism §4 describes for programs with large outputs.
+func OutputHash(outs []vm.Output) uint64 {
+	h := fnv.New64a()
+	for _, o := range outs {
+		for _, p := range o.Parts {
+			if p.E != nil {
+				fmt.Fprintf(h, "|%s", p.E)
+			} else {
+				fmt.Fprintf(h, "|%s", p.Lit)
+			}
+		}
+		fmt.Fprint(h, "\n")
+	}
+	return h.Sum64()
+}
+
+// PredicateObserver watches shared writes and evaluates the semantic
+// predicates after each one, catching transient violations that would be
+// overwritten by the end of the run (like fmm's negative timestamp, §5.1).
+type PredicateObserver struct {
+	Preds     []Predicate
+	Violation string // first violated predicate name, "" if none
+}
+
+// OnAccess implements vm.Observer: predicates are evaluated after every
+// shared write.
+func (o *PredicateObserver) OnAccess(st *vm.State, tid int, loc vm.Loc, write bool, pc bytecode.PCRef, tInstr int64) {
+	if !write || o.Violation != "" {
+		return
+	}
+	for _, p := range o.Preds {
+		if !p.Check(st) {
+			o.Violation = p.Name
+			return
+		}
+	}
+}
+
+// OnSync implements vm.Observer (no-op).
+func (o *PredicateObserver) OnSync(st *vm.State, ev vm.SyncEvent) {}
+
+// CloneObs implements vm.Observer.
+func (o *PredicateObserver) CloneObs() vm.Observer {
+	return &PredicateObserver{Preds: o.Preds, Violation: o.Violation}
+}
+
+// findPredicateObserver retrieves the (cloned) predicate observer of a
+// state, if any.
+func findPredicateObserver(st *vm.State) *PredicateObserver {
+	for _, o := range st.Observers {
+		if po, ok := o.(*PredicateObserver); ok {
+			return po
+		}
+	}
+	return nil
+}
+
+func mergeHints(dst expr.Assignment, src expr.Assignment) expr.Assignment {
+	out := make(expr.Assignment, len(dst)+len(src))
+	for k, v := range dst {
+		out[k] = v
+	}
+	for k, v := range src {
+		out[k] = v
+	}
+	return out
+}

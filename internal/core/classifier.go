@@ -1,0 +1,460 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bytecode"
+	"repro/internal/race"
+	"repro/internal/solver"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// Classifier analyzes race reports against a program. It is the
+// "Analysis & Classification Engine" box of Fig 2.
+type Classifier struct {
+	Prog *bytecode.Program
+	Opts Options
+	sol  *solver.Solver
+}
+
+// New returns a classifier; zero fields of opts fall back to defaults.
+func New(prog *bytecode.Program, opts Options) *Classifier {
+	d := DefaultOptions()
+	if opts.Mp <= 0 {
+		opts.Mp = d.Mp
+	}
+	if opts.Ma <= 0 {
+		opts.Ma = d.Ma
+	}
+	if opts.EnforceBudget <= 0 {
+		opts.EnforceBudget = d.EnforceBudget
+	}
+	if opts.RunBudget <= 0 {
+		opts.RunBudget = d.RunBudget
+	}
+	if opts.MaxForks <= 0 {
+		opts.MaxForks = d.MaxForks
+	}
+	if opts.Seed == 0 {
+		opts.Seed = d.Seed
+	}
+	return &Classifier{Prog: prog, Opts: opts, sol: solver.New(opts.Solver)}
+}
+
+// Classify runs the full Portend analysis on one race report: replay,
+// single-pre/single-post (Algorithm 1), and — when the single analysis is
+// inconclusive ("outSame") — multi-path multi-schedule analysis with
+// symbolic output comparison (Algorithm 2).
+func (c *Classifier) Classify(rep *race.Report, tr *trace.Trace) (*Verdict, error) {
+	start := time.Now()
+	q0 := c.sol.Queries
+	v := &Verdict{Race: rep, K: 1}
+	v.Stats.Preemptions = len(tr.Decisions)
+
+	ctx, err := c.replayToRace(rep, tr)
+	if err != nil {
+		return nil, err
+	}
+
+	a := c.singleClassify(ctx)
+	v.StatesDiffer = a.statesDiffer
+	if !a.outSame {
+		v.Class = a.class
+		v.Consequence = a.consequence
+		v.Detail = a.detail
+		v.OutputDiff = a.outDiff
+		c.finishStats(v, nil, q0, start)
+		return v, nil
+	}
+
+	if !c.Opts.MultiPath {
+		// Single-path mode: the only evidence is the one alternate that
+		// matched — a 1-witness harmless verdict.
+		v.Class = KWitnessHarmless
+		v.K = 1
+		c.finishStats(v, nil, q0, start)
+		return v, nil
+	}
+
+	mp := c.multiPath(rep, tr)
+	v.Class = mp.class
+	v.Consequence = mp.consequence
+	v.Detail = mp.detail
+	v.OutputDiff = mp.outDiff
+	if v.Class == KWitnessHarmless {
+		v.K = mp.k
+		if v.K < 1 {
+			v.K = 1
+		}
+	}
+	c.finishStats(v, mp, q0, start)
+	return v, nil
+}
+
+func (c *Classifier) finishStats(v *Verdict, mp *mpResult, q0 int, start time.Time) {
+	v.Stats.SolverQueries = c.sol.Queries - q0
+	if mp != nil {
+		v.Stats.Branches = mp.branches
+		v.Stats.PrimaryPaths = mp.primaries
+		v.Stats.Alternates = mp.alternates
+	}
+	v.Stats.Duration = time.Since(start)
+}
+
+// pairCtx is the replayed primary: the machine parked immediately after
+// the second racing access, the pre-race checkpoint, and the post-race
+// memory fingerprint.
+type pairCtx struct {
+	m      *vm.Machine
+	st     *vm.State
+	pre    *vm.State
+	postFP string
+
+	firstTID, secondTID int
+	space               vm.Space
+	obj                 int64
+
+	// spinRead: one of the racing accesses is a read executed many times
+	// from the same source line during the primary (a busy-wait poll).
+	// Reversing such a pair is vacuous — the loop re-reads the location
+	// and re-establishes the ad-hoc protocol — so a matching-output
+	// alternate does not prove the orderings interchangeable (§2.3
+	// "single ordering", Fig 8d).
+	spinRead bool
+}
+
+// readCounter counts reads of the racy object per (thread, line) during
+// the primary replay; it identifies busy-wait poll reads.
+type readCounter struct {
+	space  vm.Space
+	obj    int64
+	counts map[[2]int64]int
+}
+
+func newReadCounter(space vm.Space, obj int64) *readCounter {
+	return &readCounter{space: space, obj: obj, counts: map[[2]int64]int{}}
+}
+
+func (rc *readCounter) key(tid int, line int32) [2]int64 {
+	return [2]int64{int64(tid), int64(line)}
+}
+
+// OnAccess implements vm.Observer.
+func (rc *readCounter) OnAccess(st *vm.State, tid int, loc vm.Loc, write bool, pc bytecode.PCRef, tInstr int64) {
+	if write {
+		return
+	}
+	if loc.Space != rc.space {
+		return
+	}
+	if rc.space == vm.SpaceGlobal && loc.Obj != rc.obj {
+		return
+	}
+	rc.counts[rc.key(tid, pc.Line)]++
+}
+
+// OnSync implements vm.Observer (no-op).
+func (rc *readCounter) OnSync(st *vm.State, ev vm.SyncEvent) {}
+
+// CloneObs implements vm.Observer.
+func (rc *readCounter) CloneObs() vm.Observer {
+	n := newReadCounter(rc.space, rc.obj)
+	for k, v := range rc.counts {
+		n.counts[k] = v
+	}
+	return n
+}
+
+// spinReadThreshold: a racing read re-executed at least this many times
+// from one line is considered a busy-wait poll.
+const spinReadThreshold = 4
+
+// newRootState builds the initial state for (re-)execution of the traced
+// run, optionally with symbolic inputs, and attaches the predicate
+// observer.
+func (c *Classifier) newRootState(tr *trace.Trace, symbolic bool) *vm.State {
+	st := vm.NewState(c.Prog, tr.Args, tr.Inputs)
+	if symbolic {
+		st.In.NSymbolic = c.Opts.SymbolicInputs
+		for _, i := range c.Opts.SymbolicArgs {
+			if i >= 0 && i < len(st.SymArgs) {
+				st.SymArgs[i] = true
+			}
+		}
+	}
+	if len(c.Opts.Predicates) > 0 {
+		st.Observers = append(st.Observers, &PredicateObserver{Preds: c.Opts.Predicates})
+	}
+	return st
+}
+
+// breakAtAccess stops when the given thread is about to execute the
+// shared access identified by its per-thread instruction count.
+func breakAtAccess(tid int, tInstr int64) vm.BreakFunc {
+	return func(st *vm.State, cur int, pc bytecode.PCRef, in bytecode.Instr) bool {
+		return cur == tid && st.Threads[cur].Instrs == tInstr && in.Op.IsSharedAccess()
+	}
+}
+
+// accessToObj reports whether an instruction statically accesses the racy
+// object class (global id, or any heap object for heap races).
+func accessToObj(in bytecode.Instr, space vm.Space, obj int64) bool {
+	switch in.Op {
+	case bytecode.LOADG, bytecode.STOREG, bytecode.LOADE, bytecode.STOREE:
+		return space == vm.SpaceGlobal && in.A == obj
+	case bytecode.LOADH, bytecode.STOREH, bytecode.FREE:
+		return space == vm.SpaceHeap
+	}
+	return false
+}
+
+// replayToRace replays the trace concretely up to just past the second
+// racing access, checkpointing just before the first (§3.2, Algorithm 1
+// lines 1–4).
+func (c *Classifier) replayToRace(rep *race.Report, tr *trace.Trace) (*pairCtx, error) {
+	st := c.newRootState(tr, false)
+	rc := newReadCounter(rep.Key.Space, rep.Key.Obj)
+	st.Observers = append(st.Observers, rc)
+	repl := trace.NewReplayer(tr, vm.NewRoundRobin())
+	m := vm.NewMachine(st, repl)
+
+	m.Break = breakAtAccess(rep.First.TID, rep.First.TInstr)
+	res := m.Run(c.Opts.RunBudget)
+	if res.Kind != vm.StopBreak {
+		return nil, fmt.Errorf("portend: replay did not reach first racing access of %s (%v)", rep.ID(), res.Kind)
+	}
+	pre := st.Clone()
+
+	m.Break = breakAtAccess(rep.Second.TID, rep.Second.TInstr)
+	res = m.Run(c.Opts.RunBudget)
+	if res.Kind != vm.StopBreak {
+		return nil, fmt.Errorf("portend: replay did not reach second racing access of %s (%v)", rep.ID(), res.Kind)
+	}
+	m.Break = nil
+	m.Step() // complete the second racing access: the post-race state
+
+	ctx := &pairCtx{
+		m: m, st: st, pre: pre,
+		postFP:   st.SharedMemoryFingerprint(),
+		firstTID: rep.First.TID, secondTID: rep.Second.TID,
+		space: rep.Key.Space, obj: rep.Key.Obj,
+	}
+	for side, acc := range []race.Access{rep.First, rep.Second} {
+		_ = side
+		if !acc.Write && rc.counts[rc.key(acc.TID, acc.PC.Line)] >= spinReadThreshold {
+			ctx.spinRead = true
+		}
+	}
+	return ctx, nil
+}
+
+// enforceOutcome says how the alternate-ordering attempt ended.
+type enforceOutcome uint8
+
+const (
+	enfOK       enforceOutcome = iota // enforced and ran to completion
+	enfTimeout                        // budget exhausted (paper case (a))
+	enfStuck                          // only suspended threads runnable (case (b))
+	enfNoAccess                       // finished without the second access
+	enfError                          // runtime error while enforcing
+)
+
+// enforceResult is the outcome of one alternate execution.
+type enforceResult struct {
+	outcome        enforceOutcome
+	st             *vm.State
+	afterFP        string       // memory right after the reversed accesses
+	final          vm.RunResult // completion result (enfOK)
+	diag           vm.SpinDiagnosis
+	err            *vm.RuntimeError
+	blockedOnFirst bool // some thread waits on a resource the suspended thread holds
+}
+
+// enforceAlternate reverses the racing accesses: starting from the
+// pre-race checkpoint (which must be concrete), it suspends the thread
+// that originally accessed first, drives the other thread to its racing
+// access, completes both accesses in reversed order, and runs the
+// alternate to completion (§3.2).
+func (c *Classifier) enforceAlternate(pre *vm.State, firstTID, secondTID int, space vm.Space, obj int64, ctl vm.Controller) enforceResult {
+	alt := pre.Clone()
+	alt.Suspend(firstTID)
+	m := vm.NewMachine(alt, ctl)
+	m.SpinTrack = true
+	m.Break = func(st *vm.State, cur int, pc bytecode.PCRef, in bytecode.Instr) bool {
+		return cur == secondTID && accessToObj(in, space, obj)
+	}
+	res := m.Run(c.Opts.EnforceBudget)
+	switch res.Kind {
+	case vm.StopBreak:
+		// fall through to enforcement below
+	case vm.StopBudget:
+		d := m.DiagnoseSpin(secondTID)
+		if !d.Looping {
+			for _, th := range alt.Threads {
+				if th.Status == vm.ThRunnable && !alt.Suspended[th.ID] {
+					if d2 := m.DiagnoseSpin(th.ID); d2.Looping {
+						d = d2
+						break
+					}
+				}
+			}
+		}
+		return enforceResult{outcome: enfTimeout, st: alt, diag: d}
+	case vm.StopStuck, vm.StopDeadlock:
+		r := enforceResult{outcome: enfStuck, st: alt}
+		for _, th := range alt.Threads {
+			if th.Status == vm.ThBlockedMutex && th.WaitMutex >= 0 &&
+				alt.Mutexes[th.WaitMutex].Owner == firstTID {
+				r.blockedOnFirst = true
+			}
+			if th.Status == vm.ThBlockedJoin && th.WaitJoin == firstTID {
+				r.blockedOnFirst = true
+			}
+		}
+		return r
+	case vm.StopError:
+		return enforceResult{outcome: enfError, st: alt, err: res.Err}
+	default: // StopFinished: the access never happened in this ordering
+		return enforceResult{outcome: enfNoAccess, st: alt, final: res}
+	}
+
+	// Parked just before the second thread's racing access. Complete it,
+	// then let the suspended thread immediately complete its pending
+	// access: the reversed pair, back to back.
+	m.Break = nil
+	if r := m.Step(); r.Kind == vm.StopError {
+		return enforceResult{outcome: enfError, st: alt, err: r.Err}
+	}
+	alt.Resume(firstTID)
+	alt.Cur = firstTID
+	if r := m.Step(); r.Kind == vm.StopError {
+		return enforceResult{outcome: enfError, st: alt, err: r.Err}
+	}
+	afterFP := alt.SharedMemoryFingerprint()
+	final := m.Run(c.Opts.RunBudget)
+	return enforceResult{outcome: enfOK, st: alt, afterFP: afterFP, final: final}
+}
+
+// specViolationOf inspects a completed run for "basic" specification
+// violations (§3.5): crashes and memory errors, deadlocks, budget
+// exhaustion (hangs), assertion failures, and semantic predicate
+// violations caught by the observer.
+func specViolationOf(res vm.RunResult, st *vm.State) (Consequence, string, bool) {
+	switch res.Kind {
+	case vm.StopError:
+		if res.Err != nil && res.Err.Kind == vm.ErrAssert {
+			return ConsSemantic, res.Err.Error(), true
+		}
+		detail := "runtime error"
+		if res.Err != nil {
+			detail = res.Err.Error()
+		}
+		return ConsCrash, detail, true
+	case vm.StopDeadlock:
+		return ConsDeadlock, "all threads blocked", true
+	case vm.StopBudget:
+		return ConsHang, "execution did not terminate within budget", true
+	}
+	if po := findPredicateObserver(st); po != nil && po.Violation != "" {
+		return ConsSemantic, "predicate violated: " + po.Violation, true
+	}
+	return ConsNone, "", false
+}
+
+// pairAnalysis is the result of Algorithm 1.
+type pairAnalysis struct {
+	class        Class
+	outSame      bool
+	consequence  Consequence
+	detail       string
+	statesDiffer bool
+	outDiff      *OutputDivergence
+}
+
+// singleClassify is Algorithm 1: one primary, one enforced alternate,
+// concrete output comparison.
+func (c *Classifier) singleClassify(ctx *pairCtx) pairAnalysis {
+	space, obj := ctx.raceObj()
+
+	enf := c.enforceAlternate(ctx.pre, ctx.firstTID, ctx.secondTID, space, obj, vm.NewRoundRobin())
+
+	// Primary continuation (replaying the rest of the input trace).
+	primRes := ctx.m.Run(c.Opts.RunBudget)
+
+	switch enf.outcome {
+	case enfError:
+		return pairAnalysis{class: SpecViolated, consequence: ConsCrash, detail: "alternate: " + enf.err.Error()}
+
+	case enfTimeout:
+		if !c.Opts.AdHocDetection {
+			// Without ad-hoc synchronization detection (Fig 7's
+			// "single-path" baseline) an unenforceable alternate is
+			// conservatively treated as harmful, like the
+			// Record/Replay-Analyzer does on replay failure.
+			return pairAnalysis{class: SpecViolated, consequence: ConsHang, detail: "alternate ordering could not be enforced (timeout)"}
+		}
+		if enf.diag.Looping && !enf.diag.WritableByOther {
+			// Loop with an exit condition no live thread can change: an
+			// infinite loop (Algorithm 1 line 10).
+			return pairAnalysis{class: SpecViolated, consequence: ConsHang, detail: "infinite loop: loop exit condition cannot be modified"}
+		}
+		// Busy-wait on a shared flag another thread writes: ad-hoc
+		// synchronization (Algorithm 1 line 12).
+		return pairAnalysis{class: SingleOrdering, detail: "ad-hoc synchronization prevents the alternate ordering"}
+
+	case enfStuck:
+		if enf.blockedOnFirst {
+			// Case (b): the second thread is blocked by the first —
+			// deadlock per the lock graph (Algorithm 1 line 15).
+			return pairAnalysis{class: SpecViolated, consequence: ConsDeadlock, detail: "alternate ordering deadlocks: second thread blocked by first"}
+		}
+		if !c.Opts.AdHocDetection {
+			return pairAnalysis{class: SpecViolated, consequence: ConsHang, detail: "alternate ordering could not be enforced (stuck)"}
+		}
+		return pairAnalysis{class: SingleOrdering, detail: "alternate ordering not schedulable"}
+
+	case enfNoAccess:
+		if !c.Opts.AdHocDetection {
+			return pairAnalysis{class: SpecViolated, consequence: ConsHang, detail: "alternate ordering could not be enforced (no access)"}
+		}
+		return pairAnalysis{class: SingleOrdering, detail: "second access does not occur under the alternate ordering"}
+	}
+
+	// Enforced: compare post-race states (the baseline criterion) and
+	// watch both executions for specification violations.
+	a := pairAnalysis{statesDiffer: enf.afterFP != ctx.postFP}
+
+	if cons, det, bad := specViolationOf(enf.final, enf.st); bad {
+		a.class, a.consequence, a.detail = SpecViolated, cons, "alternate: "+det
+		return a
+	}
+	if cons, det, bad := specViolationOf(primRes, ctx.st); bad {
+		a.class, a.consequence, a.detail = SpecViolated, cons, "primary: "+det
+		return a
+	}
+
+	if diff := concreteOutputDiff(ctx.st.Outputs, enf.st.Outputs); diff != nil {
+		a.class = OutputDiffers
+		a.outDiff = diff
+		return a
+	}
+	if ctx.spinRead && c.Opts.AdHocDetection {
+		// One side of the race is a busy-wait poll read: the loop
+		// re-reads the location after the reversed pair and re-establishes
+		// the ad-hoc protocol, so the matching outputs do not evidence a
+		// second genuine ordering — the accesses are ordering-protected.
+		a.class = SingleOrdering
+		a.detail = "racing read is a busy-wait poll (ad-hoc synchronization)"
+		return a
+	}
+	a.outSame = true
+	a.class = KWitnessHarmless
+	return a
+}
+
+// raceObj extracts the racy object class from the report backing the ctx.
+func (ctx *pairCtx) raceObj() (vm.Space, int64) {
+	return ctx.space, ctx.obj
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bytecode"
+	"repro/internal/lang"
+	"repro/internal/race"
+	"repro/internal/vm"
+)
+
+// Result bundles a detection run with the classification of every
+// detected race — the end-to-end Portend pipeline of Fig 2.
+type Result struct {
+	Prog      *bytecode.Program
+	Detection *race.DetectionResult
+	Verdicts  []*Verdict
+	// Errors holds per-race classification errors (indexes align with
+	// the detection reports that failed; successful races appear in
+	// Verdicts).
+	Errors []error
+}
+
+// Run detects races in the program under the given concrete arguments and
+// input log, then classifies each distinct race. This is the entry point
+// used by cmd/portend, the examples and the evaluation harness.
+func Run(p *bytecode.Program, args, inputs []int64, opts Options) *Result {
+	budget := opts.RunBudget
+	if budget <= 0 {
+		budget = DefaultOptions().RunBudget
+	}
+	det := race.Detect(p, args, inputs, budget)
+	res := &Result{Prog: p, Detection: det}
+	cl := New(p, opts)
+	for _, rep := range det.Reports {
+		v, err := cl.Classify(rep, det.Trace)
+		if err != nil {
+			res.Errors = append(res.Errors, fmt.Errorf("%s: %w", rep.ID(), err))
+			continue
+		}
+		res.Verdicts = append(res.Verdicts, v)
+	}
+	return res
+}
+
+// ByClass groups the verdicts by class.
+func (r *Result) ByClass() map[Class][]*Verdict {
+	m := map[Class][]*Verdict{}
+	for _, v := range r.Verdicts {
+		m[v.Class] = append(m[v.Class], v)
+	}
+	return m
+}
+
+// Report renders the full debugging-aid report for a verdict (§3.6,
+// Fig 6): the race coordinates, the classification, the consequence, and
+// the output-divergence evidence when present.
+func (v *Verdict) Report(p *bytecode.Program) string {
+	var b strings.Builder
+	b.WriteString(v.Race.Describe(p))
+	fmt.Fprintf(&b, "classification: %s\n", v.Class)
+	switch v.Class {
+	case SpecViolated:
+		fmt.Fprintf(&b, "consequence: %s\n", v.Consequence)
+		fmt.Fprintf(&b, "evidence: %s\n", v.Detail)
+		b.WriteString("replay: deterministic (schedule trace + inputs recorded)\n")
+	case OutputDiffers:
+		if v.OutputDiff != nil {
+			if v.OutputDiff.Index < 0 {
+				fmt.Fprintf(&b, "output count differs: primary %d records, alternate %d records\n",
+					v.OutputDiff.PrimaryN, v.OutputDiff.AltN)
+			} else {
+				fmt.Fprintf(&b, "outputs differ at record %d:\n  primary:   %q\n  alternate: %q\n",
+					v.OutputDiff.Index, v.OutputDiff.Primary, v.OutputDiff.Altern)
+			}
+		}
+	case KWitnessHarmless:
+		fmt.Fprintf(&b, "harmless for k=%d path-schedule witnesses\n", v.K)
+		fmt.Fprintf(&b, "post-race states %s (Record/Replay-Analyzer criterion)\n",
+			map[bool]string{true: "differ", false: "same"}[v.StatesDiffer])
+	case SingleOrdering:
+		fmt.Fprintf(&b, "only one ordering of the accesses is possible: %s\n", v.Detail)
+	}
+	return b.String()
+}
+
+// WhatIfResult is the outcome of a what-if analysis (§5.1): the races
+// that appear only once the targeted synchronization is removed, with
+// their classifications.
+type WhatIfResult struct {
+	Modified *bytecode.Program
+	NewRaces []*Verdict
+	All      *Result
+}
+
+// WhatIf asks "is it safe to remove this synchronization?": it compiles
+// the program twice — as written, and with the lock/unlock operations at
+// the given source lines turned into no-ops — runs detection on both, and
+// classifies the races that exist only in the modified program.
+func WhatIf(src, name string, elideLines []int, args, inputs []int64, opts Options) (*WhatIfResult, error) {
+	ast, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	base, err := bytecode.Compile(ast, name, bytecode.Options{})
+	if err != nil {
+		return nil, err
+	}
+	ast2, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := bytecode.Compile(ast2, name+"-whatif", bytecode.Options{ElideSyncAtLines: elideLines})
+	if err != nil {
+		return nil, err
+	}
+
+	budget := opts.RunBudget
+	if budget <= 0 {
+		budget = DefaultOptions().RunBudget
+	}
+	baseDet := race.Detect(base, args, inputs, budget)
+	known := map[race.ClusterKey]bool{}
+	for _, r := range baseDet.Reports {
+		known[r.Key] = true
+	}
+
+	res := Run(mod, args, inputs, opts)
+	w := &WhatIfResult{Modified: mod, All: res}
+	for _, v := range res.Verdicts {
+		if !known[v.Race.Key] {
+			w.NewRaces = append(w.NewRaces, v)
+		}
+	}
+	return w, nil
+}
+
+// HarmfulnessRank orders classes by triage priority: specViol first, then
+// outDiff, then k-witness, then singleOrd — the order in which a
+// developer should inspect them (§1: "developers ... can fix the critical
+// bugs first").
+func HarmfulnessRank(c Class) int {
+	switch c {
+	case SpecViolated:
+		return 0
+	case OutputDiffers:
+		return 1
+	case KWitnessHarmless:
+		return 2
+	case SingleOrdering:
+		return 3
+	}
+	return 4
+}
+
+// verify interface compliance at compile time.
+var _ vm.Observer = (*PredicateObserver)(nil)

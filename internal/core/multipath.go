@@ -1,0 +1,245 @@
+package core
+
+import (
+	"repro/internal/bytecode"
+	"repro/internal/explore"
+	"repro/internal/race"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// primaryPath is one completed primary execution discovered by multi-path
+// exploration: the final state (with symbolic outputs and the path
+// condition), the pre-race checkpoint, and the racing threads observed on
+// this path.
+type primaryPath struct {
+	st                  *vm.State
+	pre                 *vm.State
+	firstTID, secondTID int
+	result              vm.RunResult
+}
+
+// pathItem is one worklist entry during exploration.
+type pathItem struct {
+	st  *vm.State
+	ctl vm.Controller
+
+	pre     *vm.State
+	preTID  int
+	raceHit bool
+
+	firstTID, secondTID int
+}
+
+func cloneCtl(c vm.Controller) vm.Controller {
+	if cc, ok := c.(vm.CloneableController); ok {
+		return cc.CloneCtl()
+	}
+	return c
+}
+
+func replayerDiverged(c vm.Controller) bool {
+	if r, ok := c.(*trace.Replayer); ok {
+		return r.Diverged
+	}
+	return false
+}
+
+// mpResult is the outcome of the multi-path multi-schedule phase.
+type mpResult struct {
+	class       Class
+	consequence Consequence
+	detail      string
+	outDiff     *OutputDivergence
+	k           int
+	branches    int
+	primaries   int
+	alternates  int
+}
+
+// collectPrimaries explores up to Mp primary paths that (a) follow the
+// recorded thread schedule up to the data race and (b) experience the
+// target race (§3.3): inputs are symbolic, paths that diverge from the
+// schedule before the race are pruned (Fig 5), and divergence is
+// tolerated after the second racing access.
+func (c *Classifier) collectPrimaries(rep *race.Report, tr *trace.Trace, eng *explore.Engine) []*primaryPath {
+	space, obj := rep.Key.Space, rep.Key.Obj
+	firstLine := rep.First.PC.Line
+
+	root := c.newRootState(tr, true)
+	work := []*pathItem{{st: root, ctl: trace.NewReplayer(tr, vm.NewRoundRobin())}}
+	var prims []*primaryPath
+
+	maxItems := 4*c.Opts.Mp + 32
+	processed := 0
+	for len(work) > 0 && len(prims) < c.Opts.Mp && processed < maxItems {
+		processed++
+		it := work[0]
+		work = work[1:]
+
+		m := vm.NewMachine(it.st, it.ctl)
+		onFork := func(sib *vm.State) {
+			if len(work) >= 128 {
+				return
+			}
+			work = append(work, &pathItem{
+				st: sib, ctl: cloneCtl(it.ctl),
+				pre: it.pre, preTID: it.preTID, raceHit: it.raceHit,
+				firstTID: it.firstTID, secondTID: it.secondTID,
+			})
+		}
+
+		pruned := false
+		var res vm.RunResult
+		for !it.raceHit {
+			// Break at any access to the racy object: the first access is
+			// matched strictly by its recorded source line, but the second
+			// may occur at a different program counter on other paths —
+			// the divergence tolerance that makes Fig 4's overflow
+			// reachable ("cases in which the second racing access occurs
+			// at a different program counter", §3.3).
+			m.Break = func(st *vm.State, cur int, pc bytecode.PCRef, in bytecode.Instr) bool {
+				return accessToObj(in, space, obj)
+			}
+			res = eng.RunForking(m, c.Opts.RunBudget, onFork)
+			if res.Kind != vm.StopBreak {
+				break // completed (or failed) without hitting the race
+			}
+			if replayerDiverged(it.ctl) {
+				// The path broke the recorded schedule before the race:
+				// prune it (Fig 5).
+				pruned = true
+				break
+			}
+			tid := it.st.Cur
+			line := currentLine(it.st)
+			switch {
+			case it.pre != nil && tid != it.preTID:
+				// The race point: this path experiences the target race.
+				it.raceHit = true
+				it.firstTID = it.preTID
+				it.secondTID = tid
+				m.Break = nil
+				m.Step() // complete the second racing access
+			case line == firstLine:
+				// (Re-)checkpoint before the most recent first access.
+				it.pre = it.st.Clone()
+				it.preTID = tid
+				m.Break = nil
+				m.Step()
+			default:
+				m.Break = nil
+				m.Step()
+			}
+		}
+		if pruned || !it.raceHit {
+			continue
+		}
+		// Post-race: run to completion (also for forked siblings that
+		// inherited the race point); forks from here are additional
+		// primaries sharing this pre-race checkpoint.
+		switch {
+		case it.st.Failure != nil:
+			res = vm.RunResult{Kind: vm.StopError, Err: it.st.Failure}
+		case it.st.Finished():
+			res = vm.RunResult{Kind: vm.StopFinished}
+		default:
+			m.Break = nil
+			res = eng.RunForking(m, c.Opts.RunBudget, onFork)
+		}
+		prims = append(prims, &primaryPath{
+			st: it.st, pre: it.pre,
+			firstTID: it.firstTID, secondTID: it.secondTID,
+			result: res,
+		})
+	}
+	return prims
+}
+
+func currentLine(st *vm.State) int32 {
+	th := st.Threads[st.Cur]
+	fr := th.Top()
+	if fr == nil {
+		return -1
+	}
+	code := st.Prog.Funcs[fr.Fn].Code
+	if fr.PC >= len(code) {
+		return -1
+	}
+	return code[fr.PC].Line
+}
+
+// multiPath is Algorithm 2 combined with multi-schedule analysis (§3.4):
+// for each primary path, produce alternates (randomly scheduled when
+// multi-schedule is enabled) and compare their concrete outputs against
+// the primary's symbolic outputs.
+func (c *Classifier) multiPath(rep *race.Report, tr *trace.Trace) *mpResult {
+	eng := explore.NewEngine(c.sol, c.Opts.MaxForks)
+	prims := c.collectPrimaries(rep, tr, eng)
+
+	out := &mpResult{class: KWitnessHarmless, branches: eng.Branches, primaries: len(prims)}
+	if len(prims) == 0 {
+		out.k = 1 // only the single-pre/single-post witness
+		return out
+	}
+
+	space, obj := rep.Key.Space, rep.Key.Obj
+	witnesses := 0
+	for pi, p := range prims {
+		// A primary path itself may expose a violation (e.g. the Fig 4
+		// overflow happens on the primary of another input).
+		if cons, det, bad := specViolationOf(p.result, p.st); bad {
+			out.class, out.consequence, out.detail = SpecViolated, cons, "primary path: "+det
+			out.alternates = witnesses
+			return out
+		}
+
+		nAlt := 1
+		if c.Opts.MultiSchedule {
+			nAlt = c.Opts.Ma
+		}
+		for j := 0; j < nAlt; j++ {
+			var ctl vm.Controller = vm.NewRoundRobin()
+			if c.Opts.MultiSchedule {
+				ctl = vm.NewRandom(c.Opts.Seed + uint64(pi)*131 + uint64(j)*17 + 1)
+			}
+			pre := p.pre.Clone()
+			// Alternate executions are fully concrete (§3.3.1): bind every
+			// symbol to the path's witness values.
+			pre.Concretize(p.st.Hints)
+			enf := c.enforceAlternate(pre, p.firstTID, p.secondTID, space, obj, ctl)
+			switch enf.outcome {
+			case enfError:
+				out.class, out.consequence, out.detail = SpecViolated, ConsCrash, "alternate: "+enf.err.Error()
+				out.alternates = witnesses
+				return out
+			case enfOK:
+				if cons, det, bad := specViolationOf(enf.final, enf.st); bad {
+					out.class, out.consequence, out.detail = SpecViolated, cons, "alternate: "+det
+					out.alternates = witnesses
+					return out
+				}
+				var diff *OutputDivergence
+				if c.Opts.SymbolicOutput {
+					diff = c.symbolicOutputDiff(p.st, enf.st.Outputs)
+				} else {
+					diff = concreteOutputDiff(concretizeOutputs(p.st), enf.st.Outputs)
+				}
+				if diff != nil {
+					out.class = OutputDiffers
+					out.outDiff = diff
+					out.alternates = witnesses
+					return out
+				}
+				witnesses++
+			default:
+				// Enforcement failed on this derived path; it contributes
+				// no witness but does not change the class (the original
+				// path already proved the alternate ordering feasible).
+			}
+		}
+	}
+	out.k = witnesses
+	out.alternates = witnesses
+	return out
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"repro/internal/expr"
+	"repro/internal/solver"
+	"repro/internal/vm"
+)
+
+// renderConcrete renders one output record; symbolic parts render as
+// formulae (callers substitute first when full concreteness is needed).
+func renderConcrete(o vm.Output) string { return o.String() }
+
+// concreteOutputDiff compares two fully concrete output sequences and
+// returns the first divergence, or nil when they are equal. The paper
+// compares "all arguments passed to output system calls" (§3.3.1); the
+// emitting thread is irrelevant, the output sequence is what an observer
+// of the process would see.
+func concreteOutputDiff(a, b []vm.Output) *OutputDivergence {
+	if len(a) != len(b) {
+		return &OutputDivergence{Index: -1, PrimaryN: len(a), AltN: len(b)}
+	}
+	for i := range a {
+		if renderConcrete(a[i]) != renderConcrete(b[i]) {
+			return &OutputDivergence{
+				Index:   i,
+				Primary: renderConcrete(a[i]),
+				Altern:  renderConcrete(b[i]),
+			}
+		}
+	}
+	return nil
+}
+
+// concretizeOutputs substitutes the primary's hints into its outputs,
+// yielding the concrete outputs of the witness execution (used by the
+// concrete-comparison ablation and as the fallback when the solver cannot
+// decide a symbolic match).
+func concretizeOutputs(st *vm.State) []vm.Output {
+	outs := make([]vm.Output, len(st.Outputs))
+	for i, o := range st.Outputs {
+		no := vm.Output{TID: o.TID, PC: o.PC, Parts: make([]vm.OutPart, len(o.Parts))}
+		for j, p := range o.Parts {
+			if p.E != nil {
+				no.Parts[j] = vm.OutPart{E: expr.Substitute(p.E, st.Hints)}
+			} else {
+				no.Parts[j] = p
+			}
+		}
+		outs[i] = no
+	}
+	return outs
+}
+
+// symbolicOutputDiff implements symbolic output comparison (§3.3.1): the
+// alternate's concrete outputs match the primary when there exists an
+// input assignment satisfying the primary's path condition under which
+// every symbolic output equals the corresponding concrete value. A nil
+// result means the outputs match.
+func (c *Classifier) symbolicOutputDiff(prim *vm.State, alt []vm.Output) *OutputDivergence {
+	po := prim.Outputs
+	if len(po) != len(alt) {
+		return &OutputDivergence{Index: -1, PrimaryN: len(po), AltN: len(alt)}
+	}
+
+	mismatchAt := func(i int) *OutputDivergence {
+		return &OutputDivergence{
+			Index:   i,
+			Primary: renderConcrete(po[i]),
+			Altern:  renderConcrete(alt[i]),
+		}
+	}
+
+	// Structural pass: literal parts must agree; collect equality
+	// constraints for the value parts.
+	var eqs []expr.Expr
+	eqIdx := []int{} // output index per equality, for evidence
+	for i := range po {
+		p, a := po[i], alt[i]
+		if len(p.Parts) != len(a.Parts) {
+			return mismatchAt(i)
+		}
+		for j := range p.Parts {
+			pp, ap := p.Parts[j], a.Parts[j]
+			if (pp.E == nil) != (ap.E == nil) {
+				return mismatchAt(i)
+			}
+			if pp.E == nil {
+				if pp.Lit != ap.Lit {
+					return mismatchAt(i)
+				}
+				continue
+			}
+			av, ok := expr.ConstVal(ap.E)
+			if !ok {
+				// The alternate is supposed to be concrete; fall back to
+				// concrete comparison under the primary's hints.
+				return concreteOutputDiff(concretizeOutputs(prim), alt)
+			}
+			if pv, isConst := expr.ConstVal(pp.E); isConst {
+				if pv != av {
+					return mismatchAt(i)
+				}
+				continue
+			}
+			eqs = append(eqs, expr.Eq(pp.E, expr.NewConst(av)))
+			eqIdx = append(eqIdx, i)
+		}
+	}
+	if len(eqs) == 0 {
+		return nil
+	}
+
+	q := make([]expr.Expr, 0, len(prim.PathCond)+len(eqs))
+	q = append(q, prim.PathCond...)
+	q = append(q, eqs...)
+	_, r := c.sol.Solve(q, prim.Hints)
+	switch r {
+	case solver.Sat:
+		return nil
+	case solver.Unsat:
+		// Localize the first individually-infeasible equality for the
+		// debugging report (§3.6).
+		for i, eq := range eqs {
+			one := append(append([]expr.Expr{}, prim.PathCond...), eq)
+			if _, ri := c.sol.Solve(one, prim.Hints); ri == solver.Unsat {
+				return mismatchAt(eqIdx[i])
+			}
+		}
+		return mismatchAt(eqIdx[0])
+	default:
+		// Solver gave up: fall back to the concrete witness comparison.
+		return concreteOutputDiff(concretizeOutputs(prim), alt)
+	}
+}

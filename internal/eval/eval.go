@@ -1,0 +1,145 @@
+// Package eval is the experiment harness: it runs detection and
+// classification across the workload suite and regenerates every table
+// and figure of the paper's evaluation (§5), printing measured values
+// side by side with the published ones.
+package eval
+
+import (
+	"time"
+
+	"repro/internal/bytecode"
+	"repro/internal/core"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// RaceOutcome pairs one classified race with its ground truth.
+type RaceOutcome struct {
+	Global  string
+	Verdict *core.Verdict
+	Truth   workloads.Expected
+	Known   bool
+}
+
+// ProgramRun is the evaluation of one workload.
+type ProgramRun struct {
+	W    *workloads.Workload
+	Prog *bytecode.Program
+	Res  *core.Result
+
+	Outcomes []RaceOutcome
+
+	// BaseInterp is the plain interpretation time (the "Cloud9 running
+	// time" column of Table 4); BaseSteps its instruction count.
+	BaseInterp time.Duration
+	BaseSteps  int64
+}
+
+// Instances sums dynamic race occurrences.
+func (pr *ProgramRun) Instances() int {
+	n := 0
+	for _, r := range pr.Res.Detection.Reports {
+		n += r.Instances
+	}
+	return n
+}
+
+// Correct counts races whose verdict matches the ground truth.
+func (pr *ProgramRun) Correct() (correct, total int) {
+	for _, o := range pr.Outcomes {
+		if !o.Known {
+			continue
+		}
+		total++
+		if o.Verdict.Class == o.Truth.Truth {
+			correct++
+		}
+	}
+	return
+}
+
+// ClassCounts tallies verdicts: specViol, outDiff, k-witness (states
+// same / differ), singleOrd.
+func (pr *ProgramRun) ClassCounts() (spec, outd, kwSame, kwDiff, single int) {
+	for _, o := range pr.Outcomes {
+		switch o.Verdict.Class {
+		case core.SpecViolated:
+			spec++
+		case core.OutputDiffers:
+			outd++
+		case core.KWitnessHarmless:
+			if o.Verdict.StatesDiffer {
+				kwDiff++
+			} else {
+				kwSame++
+			}
+		case core.SingleOrdering:
+			single++
+		}
+	}
+	return
+}
+
+// Durations returns per-race classification times.
+func (pr *ProgramRun) Durations() []time.Duration {
+	out := make([]time.Duration, 0, len(pr.Outcomes))
+	for _, o := range pr.Outcomes {
+		out = append(out, o.Verdict.Stats.Duration)
+	}
+	return out
+}
+
+// RunProgram evaluates one workload under the given options.
+func RunProgram(w *workloads.Workload, opts core.Options) *ProgramRun {
+	p := w.Compile()
+
+	// Baseline interpretation (detection disabled, no classification).
+	baseState := vm.NewState(p, w.Args, w.Inputs)
+	baseStart := time.Now()
+	vm.NewMachine(baseState, vm.NewRoundRobin()).Run(50_000_000)
+	baseDur := time.Since(baseStart)
+
+	res := core.Run(p, w.Args, w.Inputs, opts)
+	pr := &ProgramRun{W: w, Prog: p, Res: res, BaseInterp: baseDur, BaseSteps: baseState.Steps}
+	for _, v := range res.Verdicts {
+		exp, name, known := w.ExpectedFor(p, v.Race.Loc)
+		pr.Outcomes = append(pr.Outcomes, RaceOutcome{Global: name, Verdict: v, Truth: exp, Known: known})
+	}
+	return pr
+}
+
+// Suite is a full evaluation run.
+type Suite struct {
+	Opts core.Options
+	Runs []*ProgramRun
+}
+
+// RunSuite evaluates every workload.
+func RunSuite(opts core.Options) *Suite {
+	s := &Suite{Opts: opts}
+	for _, w := range workloads.All() {
+		s.Runs = append(s.Runs, RunProgram(w, opts))
+	}
+	return s
+}
+
+// Accuracy returns suite-wide classification accuracy against ground
+// truth (the paper's headline 92/93 = 99%).
+func (s *Suite) Accuracy() (correct, total int) {
+	for _, pr := range s.Runs {
+		c, t := pr.Correct()
+		correct += c
+		total += t
+	}
+	return
+}
+
+// Run finds a program run by workload name.
+func (s *Suite) Run(name string) *ProgramRun {
+	for _, pr := range s.Runs {
+		if pr.W.Name == name {
+			return pr
+		}
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func TestRunProgramBbuf(t *testing.T) {
+	pr := RunProgram(workloads.Bbuf(), core.DefaultOptions())
+	if len(pr.Outcomes) != 6 {
+		t.Fatalf("bbuf: %d races, want 6", len(pr.Outcomes))
+	}
+	correct, total := pr.Correct()
+	if correct != total || total != 6 {
+		t.Fatalf("bbuf accuracy %d/%d", correct, total)
+	}
+	if pr.BaseSteps == 0 || pr.BaseInterp <= 0 {
+		t.Fatal("baseline interpretation not measured")
+	}
+	_, outd, _, _, _ := pr.ClassCounts()
+	if outd != 6 {
+		t.Fatalf("bbuf outDiff = %d, want 6", outd)
+	}
+}
+
+func TestSuiteAccuracyMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in short mode")
+	}
+	s := RunSuite(core.DefaultOptions())
+	correct, total := s.Accuracy()
+	if total != 93 {
+		t.Fatalf("suite has %d ground-truth races, want 93 (as in the paper)", total)
+	}
+	if correct != 92 {
+		t.Fatalf("accuracy %d/93, want 92/93 (the single ocean misclassification)", correct)
+	}
+	// Table renders must not be empty and must carry the headline note.
+	t3 := s.Table3()
+	if !strings.Contains(t3, "93 distinct") {
+		t.Fatalf("Table 3 missing totals:\n%s", t3)
+	}
+	if !strings.Contains(s.Table1(), "pbzip2") {
+		t.Fatal("Table 1 missing workloads")
+	}
+	t4 := s.Table4()
+	if !strings.Contains(t4, "Classify avg") {
+		t.Fatal("Table 4 malformed")
+	}
+}
+
+func TestTable2Consequences(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in short mode")
+	}
+	s := RunSuite(core.DefaultOptions())
+	t2 := s.Table2()
+	for _, want := range []string{"sqlite", "pbzip2", "ctrace", "fmm", "memcached"} {
+		if !strings.Contains(t2, want) {
+			t.Fatalf("Table 2 missing %s:\n%s", want, t2)
+		}
+	}
+	// sqlite row should show the deadlock; pbzip2 three crashes.
+	lines := strings.Split(t2, "\n")
+	check := func(prog string, col int, want string) {
+		for _, l := range lines {
+			if strings.HasPrefix(l, prog) {
+				fields := strings.Fields(l)
+				if fields[col] != want {
+					t.Fatalf("Table 2 %s col %d = %s, want %s\n%s", prog, col, fields[col], want, t2)
+				}
+				return
+			}
+		}
+		t.Fatalf("row %s not found", prog)
+	}
+	check("sqlite", 1, "1")    // deadlock
+	check("pbzip2", 2, "3")    // crashes
+	check("ctrace", 2, "1")    // crash
+	check("fmm", 3, "1")       // semantic
+	check("memcached", 2, "1") // what-if crash
+}
+
+func TestFig9SmallSweep(t *testing.T) {
+	pts := Fig9([]int{20, 100}, []int{5, 10}, core.DefaultOptions())
+	if len(pts) != 4 {
+		t.Fatalf("want 4 points, got %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Time <= 0 {
+			t.Fatalf("point %+v has no time", p)
+		}
+	}
+	// More preemptions must produce more scheduling decisions.
+	if pts[2].MeasuredPreemptions <= pts[0].MeasuredPreemptions {
+		t.Fatalf("preemptions did not scale: %+v vs %+v", pts[2], pts[0])
+	}
+	// More branch sites must produce more symbolic branches.
+	if pts[1].MeasuredBranches <= pts[0].MeasuredBranches {
+		t.Fatalf("branches did not scale: %+v vs %+v", pts[1], pts[0])
+	}
+	if out := Fig9Render(pts); !strings.Contains(out, "Classification time") {
+		t.Fatal("Fig 9 render malformed")
+	}
+}
+
+func TestFig10AccuracyRises(t *testing.T) {
+	// k=1 must misclassify bbuf's gated races; the full k must not.
+	one := core.DefaultOptions()
+	one.MultiPath = false
+	one.MultiSchedule = false
+	prLow := RunProgram(workloads.Bbuf(), one)
+	cLow, tot := prLow.Correct()
+	prHigh := RunProgram(workloads.Bbuf(), core.DefaultOptions())
+	cHigh, _ := prHigh.Correct()
+	if cLow >= cHigh {
+		t.Fatalf("accuracy should rise with k: %d/%d -> %d/%d", cLow, tot, cHigh, tot)
+	}
+	if cHigh != tot {
+		t.Fatalf("full analysis should be perfect on bbuf: %d/%d", cHigh, tot)
+	}
+}
+
+func TestFig7BreakdownShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig7 in short mode")
+	}
+	out := Fig7([]string{"bbuf", "ctrace"})
+	if !strings.Contains(out, "Single-path") || !strings.Contains(out, "+ Multi-schedule") {
+		t.Fatalf("Fig 7 missing configs:\n%s", out)
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 5 in short mode")
+	}
+	s := RunSuite(core.DefaultOptions())
+	t5 := s.Table5()
+	for _, want := range []string{"Ground truth", "Record/Replay-Analyzer", "Portend", "not classified"} {
+		if !strings.Contains(t5, want) {
+			t.Fatalf("Table 5 missing %q:\n%s", want, t5)
+		}
+	}
+	// Portend's singleOrd precision must be 100%.
+	for _, l := range strings.Split(t5, "\n") {
+		if strings.HasPrefix(l, "Portend") {
+			if !strings.Contains(l, "100%") {
+				t.Fatalf("Portend row lacks 100%% cells: %s", l)
+			}
+		}
+	}
+}
+
+func TestFig10KStepsMapping(t *testing.T) {
+	steps := Fig10KSteps()
+	if len(steps) == 0 {
+		t.Fatal("no k steps")
+	}
+	prev := 0
+	for _, s := range steps {
+		k, mp, ma := s[0], s[1], s[2]
+		if mp*ma != k {
+			t.Fatalf("k=%d != Mp(%d)*Ma(%d)", k, mp, ma)
+		}
+		if k <= prev {
+			t.Fatal("k values must increase")
+		}
+		prev = k
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	s := &Suite{}
+	for _, name := range []string{"zz", "aa", "mm"} {
+		s.Runs = append(s.Runs, &ProgramRun{W: &workloads.Workload{Name: name}})
+	}
+	got := SortedNames(s)
+	if got[0] != "aa" || got[2] != "zz" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestProgramRunClassCountsAndDurations(t *testing.T) {
+	pr := RunProgram(workloads.RW(), core.DefaultOptions())
+	spec, outd, kwS, kwD, single := pr.ClassCounts()
+	if spec+outd+kwS+kwD+single != 1 || kwS != 1 {
+		t.Fatalf("rw counts wrong: %d %d %d %d %d", spec, outd, kwS, kwD, single)
+	}
+	ds := pr.Durations()
+	if len(ds) != 1 || ds[0] <= 0 {
+		t.Fatalf("durations wrong: %v", ds)
+	}
+	if pr.Instances() < 1 {
+		t.Fatal("instances missing")
+	}
+}

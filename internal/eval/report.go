@@ -1,0 +1,382 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tables"
+	"repro/internal/workloads"
+)
+
+// Table1 renders the program inventory (paper Table 1), with PIL LOC next
+// to the original programs' LOC.
+func (s *Suite) Table1() string {
+	t := tables.New("Table 1: Programs analyzed with Portend",
+		"Program", "PIL LOC", "Paper LOC", "Language", "# Forked threads")
+	for _, pr := range s.Runs {
+		t.Add(pr.W.Name, pr.W.LOC(), pr.W.PaperLOC, pr.W.Language, pr.W.Threads)
+	}
+	t.Note("PIL LOC is this reproduction's source; Paper LOC is the original program (Table 1 of the paper).")
+	return t.String()
+}
+
+// Table2 renders the "spec violated" races and their consequences
+// (paper Table 2). It reruns fmm with the timestamp predicate and runs
+// the memcached what-if analysis, as §5.1 describes.
+func (s *Suite) Table2() string {
+	type row struct{ deadlock, crash, semantic int }
+	measured := map[string]*row{}
+	for _, pr := range s.Runs {
+		r := &row{}
+		measured[pr.W.Name] = r
+		for _, o := range pr.Outcomes {
+			if o.Verdict.Class != core.SpecViolated {
+				continue
+			}
+			switch o.Verdict.Consequence {
+			case core.ConsDeadlock:
+				r.deadlock++
+			case core.ConsCrash:
+				r.crash++
+			case core.ConsSemantic:
+				r.semantic++
+			case core.ConsHang:
+				r.deadlock++ // hangs group with deadlocks in Table 2's terms
+			}
+		}
+	}
+
+	// fmm semantic property run (§5.1: "verify that all timestamps used
+	// in fmm are positive").
+	fw := workloads.Fmm()
+	fp := fw.Compile()
+	fopts := s.Opts
+	fopts.Predicates = fw.Predicates(fp)
+	fres := core.Run(fp, fw.Args, fw.Inputs, fopts)
+	for _, v := range fres.Verdicts {
+		if v.Class == core.SpecViolated && v.Consequence == core.ConsSemantic {
+			measured["fmm"].semantic++
+		}
+	}
+
+	// memcached what-if run (§5.1: no-op a synchronization operation and
+	// ask whether it is safe to remove).
+	mw := workloads.Memcached()
+	wres, err := core.WhatIf(mw.Source, mw.Name, mw.WhatIfLines, mw.Args, mw.Inputs, s.Opts)
+	if err == nil {
+		for _, v := range wres.NewRaces {
+			if v.Class == core.SpecViolated && v.Consequence == core.ConsCrash {
+				measured["memcached"].crash++
+				break // one introduced race, as in the paper
+			}
+		}
+	}
+
+	paper := map[string][3]int{ // deadlock, crash, semantic
+		"sqlite": {1, 0, 0}, "pbzip2": {0, 3, 0}, "ctrace": {0, 1, 0},
+		"fmm": {0, 0, 1}, "memcached": {0, 1, 0},
+	}
+	t := tables.New(`Table 2: "Spec violated" races and their consequences`,
+		"Program", "Deadlock", "Crash", "Semantic", "(paper: D/C/S)")
+	for _, name := range []string{"sqlite", "pbzip2", "ctrace", "fmm", "memcached"} {
+		m := measured[name]
+		p := paper[name]
+		t.Add(name, m.deadlock, m.crash, m.semantic, fmt.Sprintf("%d/%d/%d", p[0], p[1], p[2]))
+	}
+	t.Note("fmm's semantic row comes from the timestamp predicate run; memcached's crash from the what-if analysis (both as in §5.1).")
+	return t.String()
+}
+
+// Table3 renders the classification summary (paper Table 3).
+func (s *Suite) Table3() string {
+	t := tables.New("Table 3: Summary of Portend's classification results",
+		"Program", "Distinct", "Instances", "SpecViol", "OutDiff", "KW same", "KW differ", "SingleOrd", "(paper row)")
+	totD, totI := 0, 0
+	for _, pr := range s.Runs {
+		spec, outd, kwS, kwD, single := pr.ClassCounts()
+		p := pr.W.Paper
+		t.Add(pr.W.Name, len(pr.Outcomes), pr.Instances(), spec, outd, kwS, kwD, single,
+			fmt.Sprintf("%d/%d/%d/%d/%d/%d/%d", p.Distinct, p.Instances, p.SpecViol, p.OutDiff, p.KWSame, p.KWDiff, p.SingleOrd))
+		totD += len(pr.Outcomes)
+		totI += pr.Instances()
+	}
+	correct, total := s.Accuracy()
+	t.Note("totals: %d distinct races, %d instances (paper: 93 distinct).", totD, totI)
+	t.Note("accuracy vs ground truth: %d/%d = %s (paper: 92/93 = 99%%).", correct, total, tables.Pct(correct, total))
+	return t.String()
+}
+
+// Table4 renders classification time per program (paper Table 4).
+func (s *Suite) Table4() string {
+	t := tables.New("Table 4: Portend's classification time",
+		"Program", "Interp (ms)", "Classify avg (ms)", "min (ms)", "max (ms)", "(paper interp/avg s)")
+	for _, pr := range s.Runs {
+		ds := pr.Durations()
+		if len(ds) == 0 {
+			continue
+		}
+		var sum, min, max time.Duration
+		min = ds[0]
+		for _, d := range ds {
+			sum += d
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		avg := sum / time.Duration(len(ds))
+		t.Add(pr.W.Name,
+			float64(pr.BaseInterp.Microseconds())/1000,
+			float64(avg.Microseconds())/1000,
+			float64(min.Microseconds())/1000,
+			float64(max.Microseconds())/1000,
+			fmt.Sprintf("%.2f/%.2f", pr.W.Paper.CloudNineSecs, pr.W.Paper.PortendAvgSecs))
+	}
+	t.Note("absolute times differ from the paper (different substrate and host); the shape to check is the overhead of classification over plain interpretation.")
+	return t.String()
+}
+
+// classOfTruth maps a truth class to a Table 5 column.
+var table5Classes = []core.Class{core.SpecViolated, core.KWitnessHarmless, core.OutputDiffers, core.SingleOrdering}
+
+// Table5 compares classifier accuracy per category (paper Table 5):
+// ground truth, Record/Replay-Analyzer, ad-hoc-sync detectors, and
+// Portend. Percentages are precision per predicted class.
+func (s *Suite) Table5() string {
+	// predicted[class] / correct[class] per approach
+	type tally struct{ predicted, correct map[core.Class]int }
+	newTally := func() *tally {
+		return &tally{predicted: map[core.Class]int{}, correct: map[core.Class]int{}}
+	}
+	rr, ah, po := newTally(), newTally(), newTally()
+	rrNotClassified, ahNotClassified := 0, 0
+
+	for _, pr := range s.Runs {
+		cl := core.New(pr.Prog, s.Opts)
+		for _, o := range pr.Outcomes {
+			if !o.Known {
+				continue
+			}
+			truth := o.Truth.Truth
+
+			// Portend.
+			po.predicted[o.Verdict.Class]++
+			if o.Verdict.Class == truth {
+				po.correct[o.Verdict.Class]++
+			}
+
+			// Record/Replay-Analyzer: it knows only harmful (-> the
+			// specViol column) vs harmless (-> the k-witness column).
+			// Its "harmful" is correct only for truly spec-violating
+			// races; its "harmless" is correct for any truly harmless
+			// category (k-witness or single ordering).
+			rv, err := cl.RecordReplayAnalyzer(o.Verdict.Race, pr.Res.Detection.Trace)
+			if err == nil {
+				if rv.Harmful {
+					rr.predicted[core.SpecViolated]++
+					if truth == core.SpecViolated {
+						rr.correct[core.SpecViolated]++
+					}
+				} else {
+					rr.predicted[core.KWitnessHarmless]++
+					if truth == core.KWitnessHarmless || truth == core.SingleOrdering {
+						rr.correct[core.KWitnessHarmless]++
+					}
+				}
+			}
+			rrNotClassified = 2 // outDiff and singleOrd columns
+
+			// Ad-hoc detectors: singleOrd or nothing.
+			av, err := cl.AdHocDetector(o.Verdict.Race, pr.Res.Detection.Trace)
+			if err == nil && av.Classified {
+				ah.predicted[core.SingleOrdering]++
+				if truth == core.SingleOrdering {
+					ah.correct[core.SingleOrdering]++
+				}
+			}
+			ahNotClassified = 3 // the other three columns
+		}
+	}
+	_ = rrNotClassified
+	_ = ahNotClassified
+
+	t := tables.New("Table 5: Accuracy per approach and classification category (precision per predicted class)",
+		"Approach", "specViol", "k-witness", "outDiff", "singleOrd")
+	t.Add("Ground truth", "100%", "100%", "100%", "100%")
+	cell := func(ta *tally, c core.Class, classified bool) string {
+		if !classified {
+			return "(not classified)"
+		}
+		return tables.Pct(ta.correct[c], ta.predicted[c])
+	}
+	t.Add("Record/Replay-Analyzer",
+		cell(rr, core.SpecViolated, true),
+		cell(rr, core.KWitnessHarmless, true),
+		"(not classified)", "(not classified)")
+	t.Add("Ad-Hoc-Detector, Helgrind+",
+		"(not classified)", "(not classified)", "(not classified)",
+		cell(ah, core.SingleOrdering, true))
+	t.Add("Portend",
+		cell(po, core.SpecViolated, true),
+		cell(po, core.KWitnessHarmless, true),
+		cell(po, core.OutputDiffers, true),
+		cell(po, core.SingleOrdering, true))
+	t.Note("paper row for Record/Replay-Analyzer: 10%% / 95%% / - / -; for ad-hoc detectors: - / - / - / 100%%; for Portend: 100%% / 99%% / 99%% / 100%%.")
+	return t.String()
+}
+
+// Fig7Configs are the cumulative technique gates of Fig 7.
+func Fig7Configs() []struct {
+	Name string
+	Opts core.Options
+} {
+	base := core.DefaultOptions()
+	single := base
+	single.AdHocDetection = false
+	single.MultiPath = false
+	single.MultiSchedule = false
+	adhoc := single
+	adhoc.AdHocDetection = true
+	multipath := adhoc
+	multipath.MultiPath = true
+	full := multipath
+	full.MultiSchedule = true
+	return []struct {
+		Name string
+		Opts core.Options
+	}{
+		{"Single-path", single},
+		{"+ Ad-hoc sync detection", adhoc},
+		{"+ Multi-path", multipath},
+		{"+ Multi-schedule", full},
+	}
+}
+
+// Fig7 renders the accuracy breakdown per technique for the four programs
+// the paper charts (ctrace, pbzip2, memcached, bbuf).
+func Fig7(progNames []string) string {
+	if len(progNames) == 0 {
+		progNames = []string{"ctrace", "pbzip2", "memcached", "bbuf"}
+	}
+	var b strings.Builder
+	b.WriteString("Fig 7: Contribution of each technique toward accuracy\n")
+	b.WriteString("=====================================================\n")
+	for _, cfg := range Fig7Configs() {
+		c := tables.NewBars(cfg.Name)
+		for _, name := range progNames {
+			w := workloads.ByName(name)
+			pr := RunProgram(w, cfg.Opts)
+			correct, total := pr.Correct()
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * float64(correct) / float64(total)
+			}
+			c.Add(name, pct)
+		}
+		b.WriteString(c.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fig9Point is one cell of the scalability sweep.
+type Fig9Point struct {
+	Preemptions, Branches int
+	MeasuredPreemptions   int
+	MeasuredBranches      int
+	Time                  time.Duration
+}
+
+// Fig9 sweeps the parametric scale workload over preemption-point and
+// dependent-branch counts and reports classification time (paper Fig 9).
+func Fig9(preempts, branches []int, opts core.Options) []Fig9Point {
+	if len(preempts) == 0 {
+		preempts = []int{20, 50, 100, 200, 400}
+	}
+	if len(branches) == 0 {
+		branches = []int{5, 10, 15, 20}
+	}
+	var out []Fig9Point
+	for _, p := range preempts {
+		for _, br := range branches {
+			src := workloads.ScaleSource(p, br)
+			w := &workloads.Workload{Name: fmt.Sprintf("scale-p%d-b%d", p, br), Source: src, Inputs: []int64{3}}
+			prog := w.Compile()
+			res := core.Run(prog, nil, w.Inputs, opts)
+			var dur time.Duration
+			mp, mb := 0, 0
+			for _, v := range res.Verdicts {
+				dur += v.Stats.Duration
+				if v.Stats.Preemptions > mp {
+					mp = v.Stats.Preemptions
+				}
+				if v.Stats.Branches > mb {
+					mb = v.Stats.Branches
+				}
+			}
+			out = append(out, Fig9Point{Preemptions: p, Branches: br, MeasuredPreemptions: mp, MeasuredBranches: mb, Time: dur})
+		}
+	}
+	return out
+}
+
+// Fig9Render formats the sweep as a table.
+func Fig9Render(points []Fig9Point) string {
+	t := tables.New("Fig 9: Classification time vs #preemptions and #dependent branches",
+		"Preemptions", "Branches", "Sched decisions", "Symbolic branches", "Time (ms)")
+	for _, p := range points {
+		t.Add(p.Preemptions, p.Branches, p.MeasuredPreemptions, p.MeasuredBranches,
+			float64(p.Time.Microseconds())/1000)
+	}
+	t.Note("time should grow with both axes, as in the paper's surface plot.")
+	return t.String()
+}
+
+// Fig10KSteps maps a witness target k to (Mp, Ma) as the sweep of §5.3.
+func Fig10KSteps() [][3]int { // k, Mp, Ma
+	return [][3]int{{1, 1, 1}, {2, 2, 1}, {4, 2, 2}, {6, 3, 2}, {8, 4, 2}, {10, 5, 2}}
+}
+
+// Fig10 sweeps k for the four programs of the paper's figure and reports
+// accuracy (paper Fig 10: accuracy grows with k, plateauing early).
+func Fig10(progNames []string) string {
+	if len(progNames) == 0 {
+		progNames = []string{"pbzip2", "ctrace", "memcached", "bbuf"}
+	}
+	t := tables.New("Fig 10: Accuracy with increasing values of k",
+		append([]string{"k (Mp x Ma)"}, progNames...)...)
+	for _, step := range Fig10KSteps() {
+		opts := core.DefaultOptions()
+		opts.Mp, opts.Ma = step[1], step[2]
+		if step[0] == 1 {
+			opts.MultiPath = false
+			opts.MultiSchedule = false
+		} else if step[2] == 1 {
+			opts.MultiSchedule = false
+		}
+		row := []any{fmt.Sprintf("%d (%dx%d)", step[0], step[1], step[2])}
+		for _, name := range progNames {
+			pr := RunProgram(workloads.ByName(name), opts)
+			correct, total := pr.Correct()
+			row = append(row, tables.Pct(correct, total))
+		}
+		t.Add(row...)
+	}
+	t.Note("accuracy should rise with k and plateau, as in the paper (k=5 sufficed for 99%%).")
+	return t.String()
+}
+
+// SortedNames returns the workload names in canonical order.
+func SortedNames(s *Suite) []string {
+	names := make([]string, 0, len(s.Runs))
+	for _, pr := range s.Runs {
+		names = append(names, pr.W.Name)
+	}
+	sort.Strings(names)
+	return names
+}

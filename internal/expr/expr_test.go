@@ -1,0 +1,293 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConstFolding(t *testing.T) {
+	tests := []struct {
+		name string
+		got  Expr
+		want int64
+	}{
+		{"add", Add(NewConst(2), NewConst(3)), 5},
+		{"sub", Sub(NewConst(2), NewConst(3)), -1},
+		{"mul", Mul(NewConst(4), NewConst(3)), 12},
+		{"div", Div(NewConst(7), NewConst(2)), 3},
+		{"div-neg", Div(NewConst(-7), NewConst(2)), -3},
+		{"mod", Mod(NewConst(7), NewConst(3)), 1},
+		{"mod-neg", Mod(NewConst(-7), NewConst(3)), -1},
+		{"eq-true", Eq(NewConst(5), NewConst(5)), 1},
+		{"eq-false", Eq(NewConst(5), NewConst(6)), 0},
+		{"ne", Ne(NewConst(5), NewConst(6)), 1},
+		{"lt", Lt(NewConst(5), NewConst(6)), 1},
+		{"le", Le(NewConst(6), NewConst(6)), 1},
+		{"gt", Gt(NewConst(7), NewConst(6)), 1},
+		{"ge", Ge(NewConst(5), NewConst(6)), 0},
+		{"land", LAnd(NewConst(1), NewConst(7)), 1},
+		{"land-false", LAnd(NewConst(1), NewConst(0)), 0},
+		{"lor", LOr(NewConst(0), NewConst(0)), 0},
+		{"lnot", LNot(NewConst(0)), 1},
+		{"neg", Neg(NewConst(3)), -3},
+		{"bnot", NewUnary(OpBNot, NewConst(0)), -1},
+		{"shl", NewBinary(OpShl, NewConst(1), NewConst(4)), 16},
+		{"shr", NewBinary(OpShr, NewConst(16), NewConst(2)), 4},
+		{"and", NewBinary(OpAnd, NewConst(6), NewConst(3)), 2},
+		{"or", NewBinary(OpOr, NewConst(6), NewConst(3)), 7},
+		{"xor", NewBinary(OpXor, NewConst(6), NewConst(3)), 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c, ok := ConstVal(tt.got)
+			if !ok {
+				t.Fatalf("expected const, got %s", tt.got)
+			}
+			if c != tt.want {
+				t.Fatalf("got %d, want %d", c, tt.want)
+			}
+		})
+	}
+}
+
+func TestDivByZeroNotFolded(t *testing.T) {
+	e := Div(NewConst(5), NewConst(0))
+	if _, ok := ConstVal(e); ok {
+		t.Fatal("division by zero must not fold to a constant")
+	}
+	if _, err := Eval(e, nil); err == nil {
+		t.Fatal("evaluating division by zero must error")
+	}
+	m := Mod(NewConst(5), NewConst(0))
+	if _, ok := ConstVal(m); ok {
+		t.Fatal("modulo by zero must not fold to a constant")
+	}
+}
+
+func TestIdentities(t *testing.T) {
+	x := NewSym("x")
+	tests := []struct {
+		name string
+		got  Expr
+		want Expr
+	}{
+		{"x+0", Add(x, NewConst(0)), x},
+		{"0+x", Add(NewConst(0), x), x},
+		{"x-0", Sub(x, NewConst(0)), x},
+		{"x-x", Sub(x, x), NewConst(0)},
+		{"x*1", Mul(x, NewConst(1)), x},
+		{"1*x", Mul(NewConst(1), x), x},
+		{"x*0", Mul(x, NewConst(0)), NewConst(0)},
+		{"x/1", Div(x, NewConst(1)), x},
+		{"x==x", Eq(x, x), NewConst(1)},
+		{"x!=x", Ne(x, x), NewConst(0)},
+		{"x<=x", Le(x, x), NewConst(1)},
+		{"x<x", Lt(x, x), NewConst(0)},
+		{"neg-neg", Neg(Neg(x)), x},
+		{"land-true", LAnd(NewConst(1), Gt(x, NewConst(0))), Gt(x, NewConst(0))},
+		{"land-false", LAnd(NewConst(0), x), NewConst(0)},
+		{"lor-true", LOr(NewConst(5), x), NewConst(1)},
+		{"lor-false", LOr(NewConst(0), Gt(x, NewConst(0))), Gt(x, NewConst(0))},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if !Equal(tt.got, tt.want) {
+				t.Fatalf("got %s, want %s", tt.got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLNotInvertsComparisons(t *testing.T) {
+	x := NewSym("x")
+	e := LNot(Lt(x, NewConst(5)))
+	want := Ge(x, NewConst(5))
+	if !Equal(e, want) {
+		t.Fatalf("got %s, want %s", e, want)
+	}
+	// Double negation restores a 0/1 view.
+	e2 := LNot(LNot(Gt(x, NewConst(0))))
+	if !Equal(e2, Gt(x, NewConst(0))) {
+		t.Fatalf("double negation: got %s", e2)
+	}
+}
+
+func TestEvalWithAssignment(t *testing.T) {
+	x, y := NewSym("x"), NewSym("y")
+	e := Add(Mul(x, NewConst(3)), y)
+	v, err := Eval(e, Assignment{"x": 4, "y": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 17 {
+		t.Fatalf("got %d, want 17", v)
+	}
+	if _, err := Eval(e, Assignment{"x": 4}); err == nil {
+		t.Fatal("expected unbound-symbol error")
+	}
+}
+
+func TestEvalShortCircuit(t *testing.T) {
+	// (0 && (1/0)) must evaluate to 0, not error.
+	e := &Binary{Op: OpLAnd, L: NewConst(0), R: &Binary{Op: OpDiv, L: NewConst(1), R: NewConst(0)}}
+	v, err := Eval(e, nil)
+	if err != nil || v != 0 {
+		t.Fatalf("short-circuit and failed: v=%d err=%v", v, err)
+	}
+	e2 := &Binary{Op: OpLOr, L: NewConst(1), R: &Binary{Op: OpDiv, L: NewConst(1), R: NewConst(0)}}
+	v, err = Eval(e2, nil)
+	if err != nil || v != 1 {
+		t.Fatalf("short-circuit or failed: v=%d err=%v", v, err)
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	x, y := NewSym("x"), NewSym("y")
+	e := Add(x, Mul(y, NewConst(2)))
+	got := Substitute(e, Assignment{"y": 10})
+	want := Add(x, NewConst(20))
+	if !Equal(got, want) {
+		t.Fatalf("got %s, want %s", got, want)
+	}
+	got2 := Substitute(got, Assignment{"x": 1})
+	if c, ok := ConstVal(got2); !ok || c != 21 {
+		t.Fatalf("full substitution: got %s", got2)
+	}
+}
+
+func TestVars(t *testing.T) {
+	x, y := NewSym("x"), NewSym("y")
+	e := LAnd(Lt(x, y), Gt(Add(x, NewConst(1)), NewConst(0)))
+	vars := Vars(e)
+	if len(vars) != 2 || vars[0] != "x" || vars[1] != "y" {
+		t.Fatalf("got %v", vars)
+	}
+	if len(Vars(NewConst(3))) != 0 {
+		t.Fatal("constant should have no vars")
+	}
+}
+
+func TestIsConcrete(t *testing.T) {
+	if !IsConcrete(Add(NewConst(1), NewConst(2))) {
+		t.Fatal("const expr should be concrete")
+	}
+	if IsConcrete(Add(NewSym("x"), NewConst(2))) {
+		t.Fatal("symbolic expr should not be concrete")
+	}
+}
+
+func TestNeZero(t *testing.T) {
+	x := NewSym("x")
+	if !Equal(NeZero(NewConst(7)), NewConst(1)) {
+		t.Fatal("NeZero(7) != 1")
+	}
+	if !Equal(NeZero(NewConst(0)), NewConst(0)) {
+		t.Fatal("NeZero(0) != 0")
+	}
+	cmp := Lt(x, NewConst(3))
+	if !Equal(NeZero(cmp), cmp) {
+		t.Fatal("NeZero should leave comparisons unchanged")
+	}
+	if !Equal(NeZero(x), Ne(x, NewConst(0))) {
+		t.Fatal("NeZero(x) should be x != 0")
+	}
+}
+
+func TestSize(t *testing.T) {
+	x := NewSym("x")
+	e := Add(x, Mul(x, NewSym("y")))
+	if Size(e) != 5 {
+		t.Fatalf("size = %d, want 5", Size(e))
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	x := NewSym("x")
+	e := Add(x, NewConst(3))
+	if e.String() != "(x + 3)" {
+		t.Fatalf("got %q", e.String())
+	}
+	u := Neg(x)
+	if u.String() != "-(x)" {
+		t.Fatalf("got %q", u.String())
+	}
+}
+
+func TestFormatList(t *testing.T) {
+	s := FormatList([]Expr{NewConst(1), NewSym("x")})
+	if s != "1, x" {
+		t.Fatalf("got %q", s)
+	}
+}
+
+// Property: folding a binary op over two constants always matches the direct
+// machine arithmetic for defined operations.
+func TestQuickFoldMatchesGoArithmetic(t *testing.T) {
+	ops := []Op{OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+	f := func(a, b int64, opIdx uint8) bool {
+		op := ops[int(opIdx)%len(ops)]
+		e := NewBinary(op, NewConst(a), NewConst(b))
+		c, ok := ConstVal(e)
+		if !ok {
+			return false
+		}
+		want, _ := applyBinary(op, a, b)
+		return c == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Eval(Substitute(e, env), nil) == Eval(e, env) for fully bound
+// environments, on a family of generated expressions.
+func TestQuickSubstituteConsistentWithEval(t *testing.T) {
+	f := func(a, b, c int64) bool {
+		x, y := NewSym("x"), NewSym("y")
+		e := Add(Mul(x, NewConst(a%1000)), Sub(y, NewConst(b%1000)))
+		env := Assignment{"x": a % 5000, "y": c % 5000}
+		direct, err1 := Eval(e, env)
+		sub := Substitute(e, env)
+		folded, ok := ConstVal(sub)
+		if err1 != nil || !ok {
+			return false
+		}
+		return direct == folded
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NewBinary never loses information — evaluating the built
+// expression equals applying the op to evaluated operands (defined ops only).
+func TestQuickSimplificationSound(t *testing.T) {
+	f := func(a, b int64, pickL, pickR bool, opIdx uint8) bool {
+		ops := []Op{OpAdd, OpSub, OpMul, OpEq, OpLt, OpLAnd, OpLOr}
+		op := ops[int(opIdx)%len(ops)]
+		env := Assignment{"x": a % 100, "y": b % 100}
+		var l, r Expr
+		if pickL {
+			l = NewSym("x")
+		} else {
+			l = NewConst(a % 100)
+		}
+		if pickR {
+			r = NewSym("y")
+		} else {
+			r = NewConst(b % 100)
+		}
+		e := NewBinary(op, l, r)
+		got, err := Eval(e, env)
+		if err != nil {
+			return false
+		}
+		lv, _ := Eval(l, env)
+		rv, _ := Eval(r, env)
+		want, _ := applyBinary(op, lv, rv)
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,197 @@
+package lang
+
+// Program is a parsed PIL compilation unit.
+type Program struct {
+	Globals  []*GlobalDecl
+	Mutexes  []*SyncDecl
+	Conds    []*SyncDecl
+	Barriers []*BarrierDecl
+	Funcs    []*FuncDecl
+}
+
+// GlobalDecl declares a shared global: a scalar (`var x = 3`) or a
+// fixed-size array (`var buf[32]`). Globals are the shared memory on which
+// data races occur.
+type GlobalDecl struct {
+	Pos  Pos
+	Name string
+	Size int64 // 0 for scalar, >0 for array length
+	Init Expr  // optional initializer (scalar only); nil means 0
+}
+
+// SyncDecl declares a mutex (`mutex m`) or condition variable (`cond c`).
+type SyncDecl struct {
+	Pos  Pos
+	Name string
+}
+
+// BarrierDecl declares a barrier with a fixed participant count
+// (`barrier b(4)`).
+type BarrierDecl struct {
+	Pos   Pos
+	Name  string
+	Count int64
+}
+
+// FuncDecl declares a function. Parameters and return values are 64-bit
+// integers; a function that falls off its end returns 0.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Params []string
+	Body   *Block
+}
+
+// Stmt is a statement node.
+type Stmt interface{ StmtPos() Pos }
+
+// Expr is an expression node.
+type Expr interface{ ExprPos() Pos }
+
+// Block is a `{ ... }` statement list.
+type Block struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// LetStmt declares a thread-local variable: `let x = e`.
+type LetStmt struct {
+	Pos  Pos
+	Name string
+	Init Expr
+}
+
+// AssignOp distinguishes `=`, `+=` and `-=`.
+type AssignOp uint8
+
+// Assignment operators.
+const (
+	AssignSet AssignOp = iota
+	AssignAdd
+	AssignSub
+)
+
+// AssignStmt assigns to a local, a global, an array element or a heap cell.
+type AssignStmt struct {
+	Pos    Pos
+	Target Expr // *VarRef or *IndexExpr
+	Op     AssignOp
+	Value  Expr
+}
+
+// IfStmt is `if cond { } [else ...]`; Else is nil, *Block, or *IfStmt.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then *Block
+	Else Stmt
+}
+
+// WhileStmt is `while cond { }`.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body *Block
+}
+
+// ForStmt is the counted loop `for i = lo .. hi { }`, iterating while
+// i < hi with step 1. The loop variable is a fresh local.
+type ForStmt struct {
+	Pos      Pos
+	Var      string
+	From, To Expr
+	Body     *Block
+}
+
+// ReturnStmt returns from the current function; Value may be nil.
+type ReturnStmt struct {
+	Pos   Pos
+	Value Expr
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt restarts the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+// ExprStmt evaluates an expression for its side effects (calls, builtins).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+func (s *Block) StmtPos() Pos        { return s.Pos }
+func (s *LetStmt) StmtPos() Pos      { return s.Pos }
+func (s *AssignStmt) StmtPos() Pos   { return s.Pos }
+func (s *IfStmt) StmtPos() Pos       { return s.Pos }
+func (s *WhileStmt) StmtPos() Pos    { return s.Pos }
+func (s *ForStmt) StmtPos() Pos      { return s.Pos }
+func (s *ReturnStmt) StmtPos() Pos   { return s.Pos }
+func (s *BreakStmt) StmtPos() Pos    { return s.Pos }
+func (s *ContinueStmt) StmtPos() Pos { return s.Pos }
+func (s *ExprStmt) StmtPos() Pos     { return s.Pos }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos Pos
+	Val int64
+}
+
+// StrLit is a string literal; valid only as a print argument.
+type StrLit struct {
+	Pos Pos
+	Val string
+}
+
+// VarRef names a local, parameter or global scalar.
+type VarRef struct {
+	Pos  Pos
+	Name string
+}
+
+// IndexExpr is `name[index]`: a global array element or, when name is a
+// local holding an alloc() reference, a heap cell.
+type IndexExpr struct {
+	Pos   Pos
+	Name  string
+	Index Expr
+}
+
+// CallExpr calls a user function or builtin.
+type CallExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// SpawnExpr starts a new thread running the named function and evaluates
+// to its thread id: `let t = spawn worker(1)`.
+type SpawnExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// UnaryExpr applies a prefix operator (-, !, ~).
+type UnaryExpr struct {
+	Pos Pos
+	Op  Kind
+	X   Expr
+}
+
+// BinaryExpr applies an infix operator.
+type BinaryExpr struct {
+	Pos  Pos
+	Op   Kind
+	L, R Expr
+}
+
+func (e *IntLit) ExprPos() Pos     { return e.Pos }
+func (e *StrLit) ExprPos() Pos     { return e.Pos }
+func (e *VarRef) ExprPos() Pos     { return e.Pos }
+func (e *IndexExpr) ExprPos() Pos  { return e.Pos }
+func (e *CallExpr) ExprPos() Pos   { return e.Pos }
+func (e *SpawnExpr) ExprPos() Pos  { return e.Pos }
+func (e *UnaryExpr) ExprPos() Pos  { return e.Pos }
+func (e *BinaryExpr) ExprPos() Pos { return e.Pos }

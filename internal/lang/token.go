@@ -1,0 +1,141 @@
+// Package lang implements the front-end of PIL, the Portend Intermediate
+// Language: a small C-like concurrent language that plays the role LLVM
+// bitcode plays in the paper. PIL has 64-bit integers, fixed-size global
+// arrays, heap allocation, functions, POSIX-style synchronization
+// primitives (mutexes, condition variables, barriers, thread join) and
+// output/input "system calls". Workloads in internal/workloads are written
+// in PIL; the compiler in internal/bytecode lowers it to the stack bytecode
+// interpreted by internal/vm.
+package lang
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INT
+	STRING
+	SEMI // explicit ';' or inserted at newline
+
+	// operators and punctuation
+	LPAREN
+	RPAREN
+	LBRACE
+	RBRACE
+	LBRACK
+	RBRACK
+	COMMA
+	ASSIGN  // =
+	PLUSEQ  // +=
+	MINUSEQ // -=
+	PLUS
+	MINUS
+	STAR
+	SLASH
+	PERCENT
+	AMP
+	PIPE
+	CARET
+	TILDE
+	SHL
+	SHR
+	EQ
+	NE
+	LT
+	LE
+	GT
+	GE
+	LAND
+	LOR
+	NOT
+
+	// keywords
+	KWVAR
+	KWLET
+	KWFN
+	KWIF
+	KWELSE
+	KWWHILE
+	KWFOR
+	KWRETURN
+	KWSPAWN
+	KWTRUE
+	KWFALSE
+	KWMUTEX
+	KWCOND
+	KWBARRIER
+	KWBREAK
+	KWCONTINUE
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", INT: "integer", STRING: "string", SEMI: ";",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}", LBRACK: "[", RBRACK: "]",
+	COMMA: ",", ASSIGN: "=", PLUSEQ: "+=", MINUSEQ: "-=",
+	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PERCENT: "%",
+	AMP: "&", PIPE: "|", CARET: "^", TILDE: "~", SHL: "<<", SHR: ">>",
+	EQ: "==", NE: "!=", LT: "<", LE: "<=", GT: ">", GE: ">=",
+	LAND: "&&", LOR: "||", NOT: "!",
+	KWVAR: "var", KWLET: "let", KWFN: "fn", KWIF: "if", KWELSE: "else",
+	KWWHILE: "while", KWFOR: "for", KWRETURN: "return", KWSPAWN: "spawn",
+	KWTRUE: "true", KWFALSE: "false", KWMUTEX: "mutex", KWCOND: "cond",
+	KWBARRIER: "barrier", KWBREAK: "break", KWCONTINUE: "continue",
+}
+
+// String returns a human-readable token kind name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+var keywords = map[string]Kind{
+	"var": KWVAR, "let": KWLET, "fn": KWFN, "if": KWIF, "else": KWELSE,
+	"while": KWWHILE, "for": KWFOR, "return": KWRETURN, "spawn": KWSPAWN,
+	"true": KWTRUE, "false": KWFALSE, "mutex": KWMUTEX, "cond": KWCOND,
+	"barrier": KWBARRIER, "break": KWBREAK, "continue": KWCONTINUE,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line, Col int
+}
+
+// String renders "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexical token with its source position.
+type Token struct {
+	Kind Kind
+	Pos  Pos
+	Text string // identifier name, integer literal text, or string value
+	Int  int64  // value for INT tokens
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT:
+		return t.Text
+	case STRING:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Error is a front-end error carrying a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

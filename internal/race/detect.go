@@ -1,0 +1,50 @@
+package race
+
+import (
+	"repro/internal/bytecode"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// DetectionResult is the outcome of running a program under the race
+// detector: the distinct races, the recorded schedule trace (the input to
+// classification), and the final state.
+type DetectionResult struct {
+	Prog    *bytecode.Program
+	Reports []*Report
+	Trace   *trace.Trace
+	Run     vm.RunResult
+	Final   *vm.State
+}
+
+// Detect runs the program with the given concrete arguments and input log
+// under the happens-before detector, recording the schedule. This is the
+// paper's detection phase: "developers could run their existing test
+// suites under Portend" (§3.1). The budget bounds the run (<0: unlimited).
+func Detect(p *bytecode.Program, args, inputs []int64, budget int64) *DetectionResult {
+	st := vm.NewState(p, args, inputs)
+	det := NewDetector()
+	st.Observers = append(st.Observers, det)
+	tr, res := trace.Record(st, vm.NewRoundRobin(), budget)
+	return &DetectionResult{
+		Prog:    p,
+		Reports: det.Reports(),
+		Trace:   tr,
+		Run:     res,
+		Final:   st,
+	}
+}
+
+// FromExternal adapts a third-party race report (e.g. a ThreadSanitizer
+// plugin trace, §3.1) into a Report the classifier accepts. The caller
+// supplies the location and both access coordinates observed by the
+// external tool.
+func FromExternal(loc vm.Loc, first, second Access) *Report {
+	return &Report{
+		Key:       normKey(loc, first.PC, second.PC),
+		Loc:       loc,
+		First:     first,
+		Second:    second,
+		Instances: 1,
+	}
+}

@@ -1,0 +1,418 @@
+package race
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bytecode"
+	"repro/internal/vm"
+)
+
+func detect(t *testing.T, src string, args, inputs []int64) *DetectionResult {
+	t.Helper()
+	p := bytecode.MustCompile(src, "racetest", bytecode.Options{})
+	return Detect(p, args, inputs, 2_000_000)
+}
+
+func TestUnprotectedCounterIsRace(t *testing.T) {
+	r := detect(t, `
+var c = 0
+fn w() { c += 1 }
+fn main() {
+	let a = spawn w()
+	let b = spawn w()
+	join(a)
+	join(b)
+}`, nil, nil)
+	if len(r.Reports) == 0 {
+		t.Fatal("expected a race on c")
+	}
+	rep := r.Reports[0]
+	if rep.Loc.Space != vm.SpaceGlobal {
+		t.Fatalf("bad loc %v", rep.Loc)
+	}
+	if rep.First.TID == rep.Second.TID {
+		t.Fatal("race must involve two threads")
+	}
+}
+
+func TestMutexProtectedIsNotRace(t *testing.T) {
+	r := detect(t, `
+var c = 0
+mutex m
+fn w() { lock(m); c += 1; unlock(m) }
+fn main() {
+	let a = spawn w()
+	let b = spawn w()
+	join(a)
+	join(b)
+	print(c)
+}`, nil, nil)
+	if len(r.Reports) != 0 {
+		t.Fatalf("unexpected races: %v", r.Reports[0].Describe(r.Prog))
+	}
+}
+
+func TestSpawnJoinOrder(t *testing.T) {
+	r := detect(t, `
+var x = 0
+fn child() { x = x + 1 }
+fn main() {
+	x = 1
+	let t = spawn child()
+	join(t)
+	print(x)
+}`, nil, nil)
+	if len(r.Reports) != 0 {
+		t.Fatalf("spawn/join ordered accesses are not races: %v", r.Reports[0].Describe(r.Prog))
+	}
+}
+
+func TestParentChildConcurrent(t *testing.T) {
+	r := detect(t, `
+var x = 0
+fn child() { x = 2 }
+fn main() {
+	let t = spawn child()
+	x = 1
+	join(t)
+}`, nil, nil)
+	if len(r.Reports) != 1 {
+		t.Fatalf("want 1 race, got %d", len(r.Reports))
+	}
+}
+
+func TestCondvarEdgeNoRace(t *testing.T) {
+	r := detect(t, `
+var ready = 0
+var data = 0
+mutex m
+cond c
+fn producer() {
+	data = 42
+	lock(m)
+	ready = 1
+	signal(c)
+	unlock(m)
+}
+fn main() {
+	let p = spawn producer()
+	lock(m)
+	while ready == 0 { wait(c, m) }
+	unlock(m)
+	print(data)
+	join(p)
+}`, nil, nil)
+	if len(r.Reports) != 0 {
+		t.Fatalf("signal/wait creates happens-before; got race: %v", r.Reports[0].Describe(r.Prog))
+	}
+}
+
+func TestBarrierEdgeNoRace(t *testing.T) {
+	r := detect(t, `
+var a = 0
+var b = 0
+barrier bar(2)
+fn worker() {
+	a = 1
+	barrier_wait(bar)
+	print(b)
+}
+fn main() {
+	let t = spawn worker()
+	b = 2
+	barrier_wait(bar)
+	print(a)
+	join(t)
+}`, nil, nil)
+	if len(r.Reports) != 0 {
+		t.Fatalf("barrier orders accesses; got race: %v", r.Reports[0].Describe(r.Prog))
+	}
+}
+
+func TestAdHocSyncIsStillReportedAsRace(t *testing.T) {
+	// Busy-wait on a flag: no recognized happens-before, so dynamic
+	// detectors report a race (the "single ordering" class, §2.3).
+	r := detect(t, `
+var flag = 0
+var data = 0
+fn setter() {
+	data = 7
+	flag = 1
+}
+fn main() {
+	let s = spawn setter()
+	while flag == 0 { yield() }
+	print(data)
+	join(s)
+}`, nil, nil)
+	if len(r.Reports) < 2 {
+		t.Fatalf("want races on flag and data, got %d", len(r.Reports))
+	}
+}
+
+func TestClusteringCountsInstances(t *testing.T) {
+	r := detect(t, `
+var c = 0
+fn w() { for i = 0, 10 { c += 1; yield() } }
+fn main() {
+	let a = spawn w()
+	let b = spawn w()
+	join(a)
+	join(b)
+}`, nil, nil)
+	if len(r.Reports) == 0 {
+		t.Fatal("expected races")
+	}
+	total := 0
+	for _, rep := range r.Reports {
+		total += rep.Instances
+	}
+	if total <= len(r.Reports) {
+		t.Fatalf("loop should produce multiple instances: %d distinct, %d instances", len(r.Reports), total)
+	}
+}
+
+func TestArrayElementsClusterTogether(t *testing.T) {
+	r := detect(t, `
+var arr[8]
+fn w() { for i = 0, 8 { arr[i] += 1; yield() } }
+fn main() {
+	let a = spawn w()
+	let b = spawn w()
+	join(a)
+	join(b)
+}`, nil, nil)
+	// All element races share pcs and object: a single distinct race.
+	if len(r.Reports) != 1 {
+		t.Fatalf("want 1 distinct race, got %d", len(r.Reports))
+	}
+	if r.Reports[0].Instances < 8 {
+		t.Fatalf("want >=8 instances, got %d", r.Reports[0].Instances)
+	}
+}
+
+func TestReadWriteAndWriteWrite(t *testing.T) {
+	r := detect(t, `
+var x = 0
+fn reader() { print(x) }
+fn writer() { x = 5 }
+fn main() {
+	let a = spawn reader()
+	let b = spawn writer()
+	join(a)
+	join(b)
+}`, nil, nil)
+	if len(r.Reports) != 1 {
+		t.Fatalf("want 1 race, got %d", len(r.Reports))
+	}
+	rep := r.Reports[0]
+	if rep.First.Write && rep.Second.Write {
+		t.Fatal("should be a read-write race")
+	}
+}
+
+func TestReadsDoNotRace(t *testing.T) {
+	r := detect(t, `
+var x = 42
+fn reader() { print(x) }
+fn main() {
+	let a = spawn reader()
+	let b = spawn reader()
+	print(x)
+	join(a)
+	join(b)
+}`, nil, nil)
+	if len(r.Reports) != 0 {
+		t.Fatal("read-read is never a race")
+	}
+}
+
+func TestDescribeRendering(t *testing.T) {
+	r := detect(t, `
+var hot = 0
+fn w() { hot = 1 }
+fn main() {
+	let a = spawn w()
+	hot = 2
+	join(a)
+}`, nil, nil)
+	if len(r.Reports) != 1 {
+		t.Fatalf("want 1 race, got %d", len(r.Reports))
+	}
+	d := r.Reports[0].Describe(r.Prog)
+	for _, want := range []string{"Data race during access to: hot", "current thread id", "racing thread id", "WRITE"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("describe missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestDetectorCloneIndependence(t *testing.T) {
+	d := NewDetector()
+	st := &vm.State{} // OnSync does not touch the state
+	d.OnSync(st, vm.SyncEvent{Kind: vm.EvSpawn, TID: 0, Obj: 1})
+	c := d.CloneObs().(*Detector)
+	d.OnAccess(st, 0, vm.Loc{Obj: 1}, true, bytecode.PCRef{}, 0)
+	d.OnAccess(st, 1, vm.Loc{Obj: 1}, true, bytecode.PCRef{Fn: 1}, 0)
+	if len(d.Reports()) != 1 {
+		t.Fatalf("original should have 1 report, got %d", len(d.Reports()))
+	}
+	if len(c.Reports()) != 0 {
+		t.Fatal("clone must not see accesses after cloning")
+	}
+}
+
+func TestVectorClockOps(t *testing.T) {
+	a := NewVC(2).Set(0, 3).Set(1, 1)
+	b := NewVC(2).Set(0, 1).Set(1, 5)
+	j := a.Copy().Join(b)
+	if j.Get(0) != 3 || j.Get(1) != 5 {
+		t.Fatalf("join wrong: %v", j)
+	}
+	if !a.LeqAll(j) || !b.LeqAll(j) {
+		t.Fatal("join must dominate operands")
+	}
+	if j.LeqAll(a) {
+		t.Fatal("j should not be <= a")
+	}
+	t2 := a.Tick(0)
+	if t2.Get(0) != 4 {
+		t.Fatal("tick wrong")
+	}
+	ext := NewVC(1).Set(5, 7)
+	if ext.Get(5) != 7 || ext.Get(9) != 0 {
+		t.Fatal("extension wrong")
+	}
+}
+
+func TestTraceRecordedAlongDetection(t *testing.T) {
+	r := detect(t, `
+var x = 0
+fn w() { x = 1 }
+fn main() {
+	let a = spawn w()
+	x = 2
+	join(a)
+}`, []int64{9}, []int64{3})
+	if len(r.Trace.Decisions) == 0 {
+		t.Fatal("trace should record scheduling decisions")
+	}
+	if len(r.Trace.Args) != 1 || r.Trace.Args[0] != 9 {
+		t.Fatal("trace should capture args")
+	}
+	if len(r.Trace.Inputs) != 1 || r.Trace.Inputs[0] != 3 {
+		t.Fatal("trace should capture inputs")
+	}
+}
+
+func TestFromExternalAdapter(t *testing.T) {
+	loc := vm.Loc{Space: vm.SpaceGlobal, Obj: 2}
+	first := Access{TID: 1, Write: true, PC: bytecode.PCRef{Fn: 0, PC: 4}}
+	second := Access{TID: 2, Write: false, PC: bytecode.PCRef{Fn: 1, PC: 9}}
+	r := FromExternal(loc, first, second)
+	if r.Loc != loc || r.First != first || r.Second != second || r.Instances != 1 {
+		t.Fatal("adapter lost fields")
+	}
+}
+
+func TestSortReportsDeterministic(t *testing.T) {
+	mk := func(obj int64, fn int) *Report {
+		return &Report{Key: ClusterKey{Obj: obj, FnA: fn}, Loc: vm.Loc{Obj: obj}}
+	}
+	rs := []*Report{mk(3, 1), mk(1, 2), mk(1, 1), mk(2, 0)}
+	SortReports(rs)
+	if rs[0].Loc.Obj != 1 || rs[1].Loc.Obj != 1 || rs[2].Loc.Obj != 2 || rs[3].Loc.Obj != 3 {
+		t.Fatalf("bad order: %v", rs)
+	}
+	if rs[0].Key.FnA != 1 {
+		t.Fatal("tie-break by fn failed")
+	}
+}
+
+// Property: vector clock join is commutative, idempotent, and dominating.
+func TestQuickVectorClockJoinLaws(t *testing.T) {
+	f := func(a, b [4]uint8) bool {
+		va, vb := NewVC(4), NewVC(4)
+		for i := 0; i < 4; i++ {
+			va = va.Set(i, int64(a[i]))
+			vb = vb.Set(i, int64(b[i]))
+		}
+		ab := va.Copy().Join(vb)
+		ba := vb.Copy().Join(va)
+		for i := 0; i < 4; i++ {
+			if ab.Get(i) != ba.Get(i) {
+				return false // commutativity
+			}
+		}
+		aa := va.Copy().Join(va)
+		for i := 0; i < 4; i++ {
+			if aa.Get(i) != va.Get(i) {
+				return false // idempotence
+			}
+		}
+		return va.LeqAll(ab) && vb.LeqAll(ab) // domination
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mutex-protected counters never race, whatever the schedule.
+func TestQuickNoFalsePositivesUnderRandomSchedules(t *testing.T) {
+	p := bytecode.MustCompile(`
+var c = 0
+mutex m
+fn w(n) {
+	for i = 0, n { lock(m); c = c + 1; unlock(m) }
+}
+fn main() {
+	let a = spawn w(3)
+	let b = spawn w(4)
+	join(a)
+	join(b)
+	print(c)
+}`, "quick", bytecode.Options{})
+	f := func(seed uint64) bool {
+		st := vm.NewState(p, nil, nil)
+		det := NewDetector()
+		st.Observers = append(st.Observers, det)
+		res := vm.NewMachine(st, vm.NewRandom(seed|1)).Run(1_000_000)
+		if res.Kind != vm.StopFinished {
+			return false
+		}
+		// No races, and the counter is exact.
+		return len(det.Reports()) == 0 && st.RenderOutputs() == "7\n"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the unprotected version of the same program always reports
+// the race, whatever the schedule (HB detection is schedule-insensitive
+// for this pattern).
+func TestQuickRaceDetectedUnderAnySchedule(t *testing.T) {
+	p := bytecode.MustCompile(`
+var c = 0
+fn w(n) {
+	for i = 0, n { c = c + 1; yield() }
+}
+fn main() {
+	let a = spawn w(3)
+	let b = spawn w(4)
+	join(a)
+	join(b)
+}`, "quick2", bytecode.Options{})
+	f := func(seed uint64) bool {
+		st := vm.NewState(p, nil, nil)
+		det := NewDetector()
+		st.Observers = append(st.Observers, det)
+		res := vm.NewMachine(st, vm.NewRandom(seed|1)).Run(1_000_000)
+		return res.Kind == vm.StopFinished && len(det.Reports()) >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

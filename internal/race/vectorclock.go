@@ -1,0 +1,73 @@
+// Package race implements Portend's dynamic happens-before data race
+// detector (§3.1): vector clocks maintained over the VM's synchronization
+// events, per-location access metadata, race reports, and the clustering
+// that turns raw detections into the "distinct races" of Table 3.
+package race
+
+// VectorClock maps thread ids (dense, starting at 0) to logical clocks.
+type VectorClock []int64
+
+// NewVC returns a clock sized for n threads.
+func NewVC(n int) VectorClock { return make(VectorClock, n) }
+
+// Get returns the component for tid (0 when beyond the current size).
+func (vc VectorClock) Get(tid int) int64 {
+	if tid < len(vc) {
+		return vc[tid]
+	}
+	return 0
+}
+
+// extended returns a clock that has room for tid.
+func (vc VectorClock) extended(tid int) VectorClock {
+	if tid < len(vc) {
+		return vc
+	}
+	n := make(VectorClock, tid+1)
+	copy(n, vc)
+	return n
+}
+
+// Set returns a clock with component tid set to v (may reallocate).
+func (vc VectorClock) Set(tid int, v int64) VectorClock {
+	n := vc.extended(tid)
+	n[tid] = v
+	return n
+}
+
+// Tick increments the component for tid.
+func (vc VectorClock) Tick(tid int) VectorClock {
+	n := vc.extended(tid)
+	n[tid]++
+	return n
+}
+
+// Join returns the component-wise maximum of vc and other, in place on vc
+// when capacity allows.
+func (vc VectorClock) Join(other VectorClock) VectorClock {
+	n := vc.extended(len(other) - 1)
+	for i, v := range other {
+		if v > n[i] {
+			n[i] = v
+		}
+	}
+	return n
+}
+
+// Copy returns an independent copy.
+func (vc VectorClock) Copy() VectorClock {
+	n := make(VectorClock, len(vc))
+	copy(n, vc)
+	return n
+}
+
+// LeqAll reports whether vc ≤ other component-wise (vc happens-before or
+// equals other).
+func (vc VectorClock) LeqAll(other VectorClock) bool {
+	for i, v := range vc {
+		if v > other.Get(i) {
+			return false
+		}
+	}
+	return true
+}

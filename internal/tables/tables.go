@@ -1,0 +1,148 @@
+// Package tables renders plain-text tables and simple ASCII charts for
+// the evaluation harness (cmd/paper-eval) — the reproduction's equivalent
+// of the paper's tables and figures.
+package tables
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// New creates a table.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row; values are stringified with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends a footnote line.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	ncol := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	widths := make([]int, ncol)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(t.Title)))
+		b.WriteByte('\n')
+	}
+	writeRow := func(r []string) {
+		for i := 0; i < ncol; i++ {
+			c := ""
+			if i < len(r) {
+				c = r[i]
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Bars renders a labeled horizontal bar chart (for the accuracy figures).
+type Bars struct {
+	Title string
+	rows  []barRow
+}
+
+type barRow struct {
+	label string
+	value float64 // 0..100
+}
+
+// NewBars creates a chart.
+func NewBars(title string) *Bars { return &Bars{Title: title} }
+
+// Add appends one bar (value in percent).
+func (c *Bars) Add(label string, value float64) {
+	c.rows = append(c.rows, barRow{label, value})
+}
+
+// String renders the chart.
+func (c *Bars) String() string {
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n%s\n", c.Title, strings.Repeat("=", len(c.Title)))
+	}
+	width := 0
+	for _, r := range c.rows {
+		if len(r.label) > width {
+			width = len(r.label)
+		}
+	}
+	for _, r := range c.rows {
+		n := int(r.value / 2) // 50 chars = 100%
+		if n < 0 {
+			n = 0
+		}
+		if n > 50 {
+			n = 50
+		}
+		fmt.Fprintf(&b, "%-*s |%s %5.1f%%\n", width, r.label, strings.Repeat("#", n), r.value)
+	}
+	return b.String()
+}
+
+// Pct formats a ratio as a percentage string, with "n/a" for empty
+// denominators.
+func Pct(num, den int) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.0f%%", 100*float64(num)/float64(den))
+}

@@ -1,0 +1,88 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("My Title", "Name", "Value")
+	tb.Add("short", 1)
+	tb.Add("a-much-longer-name", 12345)
+	tb.Add("float", 3.14159)
+	tb.Note("footnote %d", 7)
+	s := tb.String()
+	for _, want := range []string{"My Title", "Name", "a-much-longer-name", "12345", "3.14", "note: footnote 7"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+	// Columns must align: every data row starts at the same offset.
+	lines := strings.Split(s, "\n")
+	var header string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "Name") {
+			header = l
+		}
+	}
+	if header == "" {
+		t.Fatal("no header line")
+	}
+	col := strings.Index(header, "Value")
+	for _, l := range lines {
+		if strings.HasPrefix(l, "short") {
+			if l[col] != '1' {
+				t.Fatalf("column misaligned:\n%s", s)
+			}
+		}
+	}
+}
+
+func TestBarsRendering(t *testing.T) {
+	c := NewBars("Accuracy")
+	c.Add("prog-a", 50)
+	c.Add("b", 100)
+	c.Add("clamped", 150)
+	c.Add("neg", -5)
+	s := c.String()
+	if !strings.Contains(s, "prog-a") || !strings.Contains(s, "#") {
+		t.Fatalf("bad chart:\n%s", s)
+	}
+	lines := strings.Split(s, "\n")
+	count := func(sub string) int {
+		for _, l := range lines {
+			if strings.Contains(l, sub) {
+				return strings.Count(l, "#")
+			}
+		}
+		return -1
+	}
+	if count("prog-a") != 25 {
+		t.Fatalf("50%% should render 25 hashes, got %d", count("prog-a"))
+	}
+	if count("b ") != 50 || count("clamped") != 50 {
+		t.Fatal("100%%+ must clamp at 50 hashes")
+	}
+	if count("neg") != 0 {
+		t.Fatal("negative values must clamp at 0")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(1, 2) != "50%" || Pct(93, 93) != "100%" || Pct(0, 5) != "0%" {
+		t.Fatal("pct formatting wrong")
+	}
+	if Pct(1, 0) != "n/a" {
+		t.Fatal("division by zero must render n/a")
+	}
+}
+
+func TestRaggedRows(t *testing.T) {
+	tb := New("", "A", "B")
+	tb.Add("only-one")
+	tb.Add("x", "y", "z") // extra cell beyond headers
+	s := tb.String()
+	if !strings.Contains(s, "only-one") || !strings.Contains(s, "z") {
+		t.Fatalf("ragged rows mishandled:\n%s", s)
+	}
+}

@@ -1,0 +1,830 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/bytecode"
+	"repro/internal/expr"
+)
+
+// Controller decides which thread runs next at each scheduling point.
+// Scheduling points are synchronization operations, thread blocking/exit,
+// and (when Machine.PreemptAccesses is set) shared memory accesses —
+// mirroring the paper's preemption-point discipline (§3.1).
+type Controller interface {
+	// PickNext returns the id of the next thread to run; runnable is
+	// non-empty and sorted by thread id.
+	PickNext(st *State, runnable []int) int
+}
+
+// BranchPolicy decides symbolic control flow. The concolic default
+// follows the state's hint assignment; the multi-path explorer forks.
+type BranchPolicy interface {
+	// OnSymbolicBranch reports whether cond should be treated as true.
+	// The machine records the matching path constraint itself.
+	OnSymbolicBranch(m *Machine, cond expr.Expr) (bool, *RuntimeError)
+	// Concretize picks a concrete value for e; the machine records
+	// e == value as a path constraint.
+	Concretize(m *Machine, e expr.Expr) (int64, *RuntimeError)
+}
+
+// ConcolicPolicy resolves symbolic branches using the state's concolic
+// hints: every symbol carries the concrete value observed (or chosen) for
+// this path, so evaluation always succeeds.
+type ConcolicPolicy struct{}
+
+// OnSymbolicBranch follows the hinted direction.
+func (ConcolicPolicy) OnSymbolicBranch(m *Machine, cond expr.Expr) (bool, *RuntimeError) {
+	v, err := m.St.HintEval(cond)
+	if err != nil {
+		th := m.St.Threads[m.St.Cur]
+		return false, m.St.fail(ErrStack, th.ID, th.PCRef(m.St.Prog), "unhinted symbol in branch: "+err.Error())
+	}
+	return v != 0, nil
+}
+
+// Concretize evaluates e under the hints.
+func (ConcolicPolicy) Concretize(m *Machine, e expr.Expr) (int64, *RuntimeError) {
+	v, err := m.St.HintEval(e)
+	if err != nil {
+		th := m.St.Threads[m.St.Cur]
+		return 0, m.St.fail(ErrStack, th.ID, th.PCRef(m.St.Prog), "unhinted symbol in value: "+err.Error())
+	}
+	return v, nil
+}
+
+// BreakFunc is a breakpoint predicate, checked before each instruction
+// attempt of the current thread. Returning true stops Run with StopBreak
+// *before* the instruction executes; clear or replace Machine.Break before
+// resuming, or Run will stop again immediately.
+type BreakFunc func(st *State, tid int, pc bytecode.PCRef, in bytecode.Instr) bool
+
+// Machine drives a State: scheduling, interpretation, breakpoints, and
+// symbolic branching. The Machine itself is transient (not checkpointed);
+// all persistent execution state lives in State.
+type Machine struct {
+	St     *State
+	Ctl    Controller
+	Policy BranchPolicy
+	Break  BreakFunc
+
+	// PreemptAccesses makes shared memory accesses scheduling points too
+	// (the paper: "can also preempt threads before and after any racing
+	// memory access").
+	PreemptAccesses bool
+
+	// SpinTrack enables the loop diagnosis used on alternate-enforcement
+	// timeouts (infinite loop vs ad-hoc synchronization, §3.5).
+	SpinTrack bool
+	spin      map[int]*spinInfo
+
+	// suppress re-asking the controller for the point it just chose
+	skipTID   int
+	skipInstr int64
+}
+
+// NewMachine returns a machine over st with the given controller and the
+// concolic branch policy.
+func NewMachine(st *State, ctl Controller) *Machine {
+	return &Machine{St: st, Ctl: ctl, Policy: ConcolicPolicy{}, skipTID: -1}
+}
+
+func (m *Machine) pick(runnable []int) {
+	t := m.Ctl.PickNext(m.St, runnable)
+	valid := false
+	for _, r := range runnable {
+		if r == t {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		t = runnable[0]
+	}
+	m.St.Cur = t
+	m.skipTID = t
+	m.skipInstr = m.St.Threads[t].Instrs
+}
+
+// Run executes until the program finishes, fails, deadlocks, hits a
+// breakpoint, or exhausts the budget (budget < 0 means unlimited).
+func (m *Machine) Run(budget int64) RunResult {
+	st := m.St
+	var steps int64
+	for {
+		if st.Failure != nil {
+			return RunResult{Kind: StopError, Err: st.Failure, Steps: steps}
+		}
+		if st.Finished() {
+			return RunResult{Kind: StopFinished, Steps: steps}
+		}
+		runnable := st.RunnableTIDs()
+		if len(runnable) == 0 {
+			// Would any suspended thread be schedulable if resumed?
+			for _, t := range st.Threads {
+				if st.Suspended[t.ID] && t.Status == ThRunnable {
+					return RunResult{Kind: StopStuck, Steps: steps}
+				}
+			}
+			return RunResult{Kind: StopDeadlock, Steps: steps}
+		}
+
+		cur := st.Cur
+		if cur < 0 || cur >= len(st.Threads) {
+			m.pick(runnable)
+			continue
+		}
+		th := st.Threads[cur]
+		if th.Status != ThRunnable || st.Suspended[cur] {
+			m.pick(runnable)
+			continue
+		}
+
+		fr := th.Top()
+		code := st.Prog.Funcs[fr.Fn].Code
+		if fr.PC >= len(code) {
+			return RunResult{Kind: StopError, Err: st.fail(ErrStack, cur, th.PCRef(st.Prog), "pc out of range"), Steps: steps}
+		}
+		in := code[fr.PC]
+		pcref := bytecode.PCRef{Fn: fr.Fn, PC: fr.PC, Line: in.Line}
+
+		// Scheduling decision before sync ops / (optionally) shared
+		// accesses, unless the controller just picked this very point.
+		if in.Op.IsSyncOp() || (m.PreemptAccesses && in.Op.IsSharedAccess()) {
+			if !(m.skipTID == cur && m.skipInstr == th.Instrs) {
+				m.pick(runnable)
+				if st.Cur != cur {
+					continue
+				}
+			}
+		}
+
+		if m.Break != nil && m.Break(st, cur, pcref, in) {
+			return RunResult{Kind: StopBreak, Steps: steps}
+		}
+		if budget >= 0 && steps >= budget {
+			return RunResult{Kind: StopBudget, Steps: steps}
+		}
+
+		completed, err := m.exec(th, fr, in, pcref)
+		if err != nil {
+			return RunResult{Kind: StopError, Err: err, Steps: steps}
+		}
+		if completed {
+			th.Instrs++
+			st.Steps++
+			steps++
+		}
+	}
+}
+
+// Step executes exactly one completed instruction of the current thread
+// (scheduling if needed). It is used by the classifier to move just past
+// the second racing access.
+func (m *Machine) Step() RunResult {
+	before := m.St.Steps
+	saved := m.Break
+	m.Break = func(st *State, tid int, pc bytecode.PCRef, in bytecode.Instr) bool {
+		return st.Steps > before
+	}
+	defer func() { m.Break = saved }()
+	return m.Run(2) // at most a couple of attempts; break fires after one completion
+}
+
+func (m *Machine) pop(th *Thread, fr *Frame, pcref bytecode.PCRef) (expr.Expr, *RuntimeError) {
+	if len(fr.Stack) == 0 {
+		return nil, m.St.fail(ErrStack, th.ID, pcref, "pop on empty stack")
+	}
+	v := fr.Stack[len(fr.Stack)-1]
+	fr.Stack = fr.Stack[:len(fr.Stack)-1]
+	return v, nil
+}
+
+func (m *Machine) concretize(e expr.Expr, th *Thread, pcref bytecode.PCRef) (int64, *RuntimeError) {
+	if v, ok := expr.ConstVal(e); ok {
+		return v, nil
+	}
+	v, rerr := m.Policy.Concretize(m, e)
+	if rerr != nil {
+		return 0, rerr
+	}
+	m.St.AddConstraint(expr.Eq(e, expr.NewConst(v)))
+	return v, nil
+}
+
+// branch resolves a possibly-symbolic 0/1 condition, recording the path
+// constraint for the taken side.
+func (m *Machine) branch(cond expr.Expr, th *Thread, pcref bytecode.PCRef) (bool, *RuntimeError) {
+	if v, ok := expr.ConstVal(cond); ok {
+		return v != 0, nil
+	}
+	norm := expr.NeZero(cond)
+	taken, rerr := m.Policy.OnSymbolicBranch(m, norm)
+	if rerr != nil {
+		return false, rerr
+	}
+	if taken {
+		m.St.AddConstraint(norm)
+	} else {
+		m.St.AddConstraint(expr.LNot(norm))
+	}
+	return taken, nil
+}
+
+// maxAllocCells bounds a single allocation.
+const maxAllocCells = 1 << 20
+
+// exec interprets one instruction. It returns completed=false when the
+// thread blocked (the instruction will be retried or completed later).
+func (m *Machine) exec(th *Thread, fr *Frame, in bytecode.Instr, pcref bytecode.PCRef) (bool, *RuntimeError) {
+	st := m.St
+	tid := th.ID
+	p := st.Prog
+
+	m.trackSpinPC(tid, in, pcref)
+
+	switch in.Op {
+	case bytecode.NOP:
+		fr.PC++
+		return true, nil
+
+	case bytecode.PUSH:
+		fr.Stack = append(fr.Stack, expr.NewConst(in.A))
+		fr.PC++
+		return true, nil
+
+	case bytecode.POP:
+		if _, err := m.pop(th, fr, pcref); err != nil {
+			return false, err
+		}
+		fr.PC++
+		return true, nil
+
+	case bytecode.DUP:
+		if len(fr.Stack) == 0 {
+			return false, st.fail(ErrStack, tid, pcref, "dup on empty stack")
+		}
+		fr.Stack = append(fr.Stack, fr.Stack[len(fr.Stack)-1])
+		fr.PC++
+		return true, nil
+
+	case bytecode.LOADL:
+		fr.Stack = append(fr.Stack, fr.Locals[in.A])
+		fr.PC++
+		return true, nil
+
+	case bytecode.STOREL:
+		v, err := m.pop(th, fr, pcref)
+		if err != nil {
+			return false, err
+		}
+		fr.Locals[in.A] = v
+		fr.PC++
+		return true, nil
+
+	case bytecode.LOADG:
+		loc := Loc{Space: SpaceGlobal, Obj: in.A}
+		st.notifyAccess(tid, loc, false, pcref, th.Instrs)
+		m.trackSpinRead(tid, loc)
+		fr.Stack = append(fr.Stack, st.Globals[in.A][0])
+		fr.PC++
+		return true, nil
+
+	case bytecode.STOREG:
+		v, err := m.pop(th, fr, pcref)
+		if err != nil {
+			return false, err
+		}
+		st.notifyAccess(tid, Loc{Space: SpaceGlobal, Obj: in.A}, true, pcref, th.Instrs)
+		st.Globals[in.A][0] = v
+		fr.PC++
+		return true, nil
+
+	case bytecode.LOADE, bytecode.STOREE:
+		var val expr.Expr
+		if in.Op == bytecode.STOREE {
+			v, err := m.pop(th, fr, pcref)
+			if err != nil {
+				return false, err
+			}
+			val = v
+		}
+		idxE, err := m.pop(th, fr, pcref)
+		if err != nil {
+			return false, err
+		}
+		idx, err := m.concretize(idxE, th, pcref)
+		if err != nil {
+			return false, err
+		}
+		cells := st.Globals[in.A]
+		if idx < 0 || idx >= int64(len(cells)) {
+			return false, st.fail(ErrOutOfBounds, tid, pcref,
+				fmt.Sprintf("index %d out of range for %s[%d]", idx, p.Globals[in.A].Name, len(cells)))
+		}
+		loc := Loc{Space: SpaceGlobal, Obj: in.A, Elem: idx}
+		if in.Op == bytecode.LOADE {
+			st.notifyAccess(tid, loc, false, pcref, th.Instrs)
+			m.trackSpinRead(tid, loc)
+			fr.Stack = append(fr.Stack, cells[idx])
+		} else {
+			st.notifyAccess(tid, loc, true, pcref, th.Instrs)
+			cells[idx] = val
+		}
+		fr.PC++
+		return true, nil
+
+	case bytecode.ALLOC:
+		nE, err := m.pop(th, fr, pcref)
+		if err != nil {
+			return false, err
+		}
+		n, err := m.concretize(nE, th, pcref)
+		if err != nil {
+			return false, err
+		}
+		if n <= 0 || n > maxAllocCells {
+			return false, st.fail(ErrAllocSize, tid, pcref, fmt.Sprintf("alloc(%d)", n))
+		}
+		ref := st.NextRef
+		st.NextRef++
+		cells := make([]expr.Expr, n)
+		for i := range cells {
+			cells[i] = expr.NewConst(0)
+		}
+		st.Heap[ref] = &HeapBlock{Cells: cells}
+		fr.Stack = append(fr.Stack, expr.NewConst(ref))
+		fr.PC++
+		return true, nil
+
+	case bytecode.FREE:
+		refE, err := m.pop(th, fr, pcref)
+		if err != nil {
+			return false, err
+		}
+		ref, err := m.concretize(refE, th, pcref)
+		if err != nil {
+			return false, err
+		}
+		blk, ok := st.Heap[ref]
+		if !ok {
+			return false, st.fail(ErrBadRef, tid, pcref, fmt.Sprintf("free(%d)", ref))
+		}
+		st.notifyAccess(tid, Loc{Space: SpaceHeap, Obj: ref}, true, pcref, th.Instrs)
+		if blk.Freed {
+			return false, st.fail(ErrDoubleFree, tid, pcref, fmt.Sprintf("free(%d)", ref))
+		}
+		blk.Freed = true
+		fr.PC++
+		return true, nil
+
+	case bytecode.LOADH, bytecode.STOREH:
+		var val expr.Expr
+		if in.Op == bytecode.STOREH {
+			v, err := m.pop(th, fr, pcref)
+			if err != nil {
+				return false, err
+			}
+			val = v
+		}
+		idxE, err := m.pop(th, fr, pcref)
+		if err != nil {
+			return false, err
+		}
+		refE, err := m.pop(th, fr, pcref)
+		if err != nil {
+			return false, err
+		}
+		idx, err := m.concretize(idxE, th, pcref)
+		if err != nil {
+			return false, err
+		}
+		ref, err := m.concretize(refE, th, pcref)
+		if err != nil {
+			return false, err
+		}
+		blk, ok := st.Heap[ref]
+		if !ok {
+			return false, st.fail(ErrBadRef, tid, pcref, fmt.Sprintf("heap ref %d", ref))
+		}
+		if blk.Freed {
+			return false, st.fail(ErrUseAfterFree, tid, pcref, fmt.Sprintf("heap ref %d", ref))
+		}
+		if idx < 0 || idx >= int64(len(blk.Cells)) {
+			return false, st.fail(ErrOutOfBounds, tid, pcref,
+				fmt.Sprintf("heap index %d out of range [0,%d)", idx, len(blk.Cells)))
+		}
+		loc := Loc{Space: SpaceHeap, Obj: ref, Elem: idx}
+		if in.Op == bytecode.LOADH {
+			st.notifyAccess(tid, loc, false, pcref, th.Instrs)
+			m.trackSpinRead(tid, loc)
+			fr.Stack = append(fr.Stack, blk.Cells[idx])
+		} else {
+			st.notifyAccess(tid, loc, true, pcref, th.Instrs)
+			blk.Cells[idx] = val
+		}
+		fr.PC++
+		return true, nil
+
+	case bytecode.ADD, bytecode.SUB, bytecode.MUL, bytecode.DIV, bytecode.MOD,
+		bytecode.BAND, bytecode.BOR, bytecode.BXOR, bytecode.SHL, bytecode.SHR,
+		bytecode.EQ, bytecode.NE, bytecode.LT, bytecode.LE, bytecode.GT, bytecode.GE:
+		r, err := m.pop(th, fr, pcref)
+		if err != nil {
+			return false, err
+		}
+		l, err := m.pop(th, fr, pcref)
+		if err != nil {
+			return false, err
+		}
+		if in.Op == bytecode.DIV || in.Op == bytecode.MOD {
+			if rv, ok := expr.ConstVal(r); ok {
+				if rv == 0 {
+					return false, st.fail(ErrDivZero, tid, pcref, "")
+				}
+			} else {
+				nz, berr := m.branch(expr.Ne(r, expr.NewConst(0)), th, pcref)
+				if berr != nil {
+					return false, berr
+				}
+				if !nz {
+					return false, st.fail(ErrDivZero, tid, pcref, "symbolic divisor can be zero")
+				}
+			}
+		}
+		fr.Stack = append(fr.Stack, expr.NewBinary(binOpOf(in.Op), l, r))
+		fr.PC++
+		return true, nil
+
+	case bytecode.NEG, bytecode.BNOT, bytecode.LNOT, bytecode.NEZ:
+		x, err := m.pop(th, fr, pcref)
+		if err != nil {
+			return false, err
+		}
+		var res expr.Expr
+		switch in.Op {
+		case bytecode.NEG:
+			res = expr.Neg(x)
+		case bytecode.BNOT:
+			res = expr.NewUnary(expr.OpBNot, x)
+		case bytecode.LNOT:
+			res = expr.LNot(x)
+		case bytecode.NEZ:
+			res = expr.NeZero(x)
+		}
+		fr.Stack = append(fr.Stack, res)
+		fr.PC++
+		return true, nil
+
+	case bytecode.JMP:
+		fr.PC = int(in.A)
+		return true, nil
+
+	case bytecode.JZ:
+		c, err := m.pop(th, fr, pcref)
+		if err != nil {
+			return false, err
+		}
+		taken, berr := m.branch(c, th, pcref)
+		if berr != nil {
+			return false, berr
+		}
+		if taken {
+			fr.PC++ // condition non-zero: fall through
+		} else {
+			fr.PC = int(in.A)
+		}
+		return true, nil
+
+	case bytecode.CALL:
+		fn := &p.Funcs[in.A]
+		n := int(in.B)
+		if len(fr.Stack) < n {
+			return false, st.fail(ErrStack, tid, pcref, "call args underflow")
+		}
+		locals := make([]expr.Expr, fn.NLocals)
+		for i := range locals {
+			locals[i] = expr.NewConst(0)
+		}
+		copy(locals, fr.Stack[len(fr.Stack)-n:])
+		fr.Stack = fr.Stack[:len(fr.Stack)-n]
+		fr.PC++
+		th.Frames = append(th.Frames, &Frame{Fn: int(in.A), Locals: locals})
+		return true, nil
+
+	case bytecode.RET:
+		v, err := m.pop(th, fr, pcref)
+		if err != nil {
+			return false, err
+		}
+		th.Frames = th.Frames[:len(th.Frames)-1]
+		if len(th.Frames) == 0 {
+			th.Status = ThExited
+			st.notifySync(SyncEvent{Kind: EvExit, TID: tid})
+			// Wake joiners.
+			for _, t := range st.Threads {
+				if t.Status == ThBlockedJoin && t.WaitJoin == tid {
+					t.Status = ThRunnable
+					t.WaitJoin = -1
+				}
+			}
+			if tid == 0 {
+				st.Halted = true // main returned: process exit
+			}
+			return true, nil
+		}
+		top := th.Top()
+		top.Stack = append(top.Stack, v)
+		return true, nil
+
+	case bytecode.SPAWN:
+		fn := &p.Funcs[in.A]
+		n := int(in.B)
+		if len(fr.Stack) < n {
+			return false, st.fail(ErrStack, tid, pcref, "spawn args underflow")
+		}
+		locals := make([]expr.Expr, fn.NLocals)
+		for i := range locals {
+			locals[i] = expr.NewConst(0)
+		}
+		copy(locals, fr.Stack[len(fr.Stack)-n:])
+		fr.Stack = fr.Stack[:len(fr.Stack)-n]
+		child := &Thread{
+			ID: len(st.Threads), Status: ThRunnable,
+			Frames:    []*Frame{{Fn: int(in.A), Locals: locals}},
+			WaitMutex: -1, WaitCond: -1, WaitJoin: -1, WaitBarrier: -1,
+		}
+		st.Threads = append(st.Threads, child)
+		fr.Stack = append(fr.Stack, expr.NewConst(int64(child.ID)))
+		fr.PC++
+		st.notifySync(SyncEvent{Kind: EvSpawn, TID: tid, Obj: child.ID})
+		return true, nil
+
+	case bytecode.JOIN:
+		if len(fr.Stack) == 0 {
+			return false, st.fail(ErrStack, tid, pcref, "join on empty stack")
+		}
+		tgtE := fr.Stack[len(fr.Stack)-1] // peek; pop only on completion
+		tgt, err := m.concretize(tgtE, th, pcref)
+		if err != nil {
+			return false, err
+		}
+		if tgt < 0 || tgt >= int64(len(st.Threads)) || int(tgt) == tid {
+			return false, st.fail(ErrJoinBad, tid, pcref, fmt.Sprintf("join(%d)", tgt))
+		}
+		if st.Threads[tgt].Status != ThExited {
+			th.Status = ThBlockedJoin
+			th.WaitJoin = int(tgt)
+			return false, nil
+		}
+		fr.Stack = fr.Stack[:len(fr.Stack)-1]
+		fr.PC++
+		st.notifySync(SyncEvent{Kind: EvJoin, TID: tid, Obj: int(tgt)})
+		return true, nil
+
+	case bytecode.LOCK:
+		mu := &st.Mutexes[in.A]
+		if mu.Owner == tid {
+			return false, st.fail(ErrRelock, tid, pcref, p.Mutexes[in.A])
+		}
+		if mu.Owner == -1 {
+			mu.Owner = tid
+			fr.PC++
+			st.notifySync(SyncEvent{Kind: EvAcquire, TID: tid, Obj: int(in.A)})
+			return true, nil
+		}
+		th.Status = ThBlockedMutex
+		th.WaitMutex = int(in.A)
+		return false, nil
+
+	case bytecode.UNLOCK:
+		mu := &st.Mutexes[in.A]
+		if mu.Owner != tid {
+			return false, st.fail(ErrUnlockNotOwned, tid, pcref, p.Mutexes[in.A])
+		}
+		m.unlockMutex(int(in.A), tid)
+		fr.PC++
+		return true, nil
+
+	case bytecode.WAIT:
+		condID, mutID := int(in.A), int(in.B)
+		if th.WaitPhase == 1 {
+			// Reacquire phase after being signaled.
+			mu := &st.Mutexes[mutID]
+			if mu.Owner == -1 {
+				mu.Owner = tid
+				th.WaitPhase = 0
+				fr.PC++
+				st.notifySync(SyncEvent{Kind: EvAcquire, TID: tid, Obj: mutID})
+				return true, nil
+			}
+			th.Status = ThBlockedMutex
+			th.WaitMutex = mutID
+			return false, nil
+		}
+		// Fresh arrival: must hold the mutex; release it and block.
+		if st.Mutexes[mutID].Owner != tid {
+			return false, st.fail(ErrUnlockNotOwned, tid, pcref, "wait without holding "+p.Mutexes[mutID])
+		}
+		m.unlockMutex(mutID, tid)
+		st.Conds[condID].Waiters = append(st.Conds[condID].Waiters, tid)
+		th.Status = ThBlockedCond
+		th.WaitCond = condID
+		return false, nil
+
+	case bytecode.SIGNAL, bytecode.BROADCAST:
+		cs := &st.Conds[in.A]
+		var woken []int
+		nwake := len(cs.Waiters)
+		if in.Op == bytecode.SIGNAL && nwake > 1 {
+			nwake = 1
+		}
+		for i := 0; i < nwake; i++ {
+			w := cs.Waiters[i]
+			wt := st.Threads[w]
+			wt.Status = ThRunnable
+			wt.WaitCond = -1
+			wt.WaitPhase = 1
+			woken = append(woken, w)
+		}
+		cs.Waiters = cs.Waiters[nwake:]
+		fr.PC++
+		if len(woken) > 0 {
+			st.notifySync(SyncEvent{Kind: EvSignal, TID: tid, Obj: int(in.A), Others: woken})
+		}
+		return true, nil
+
+	case bytecode.BARRIER:
+		bs := &st.Barriers[in.A]
+		bs.Arrived = append(bs.Arrived, tid)
+		if int64(len(bs.Arrived)) >= p.Barriers[in.A].Count {
+			released := append([]int(nil), bs.Arrived...)
+			bs.Arrived = nil
+			for _, rid := range released {
+				if rid == tid {
+					continue
+				}
+				rt := st.Threads[rid]
+				rt.Status = ThRunnable
+				rt.WaitBarrier = -1
+				// Complete their BARRIER instruction on their behalf.
+				rt.Top().PC++
+				rt.Instrs++
+				st.Steps++
+			}
+			fr.PC++
+			st.notifySync(SyncEvent{Kind: EvBarrier, TID: tid, Obj: int(in.A), Others: released})
+			return true, nil
+		}
+		th.Status = ThBlockedBarrier
+		th.WaitBarrier = int(in.A)
+		return false, nil
+
+	case bytecode.YIELD:
+		fr.PC++
+		return true, nil
+
+	case bytecode.SLEEP:
+		if _, err := m.pop(th, fr, pcref); err != nil {
+			return false, err
+		}
+		fr.PC++
+		return true, nil
+
+	case bytecode.PRINT:
+		desc := p.Prints[in.A]
+		n := int(in.B)
+		if len(fr.Stack) < n {
+			return false, st.fail(ErrStack, tid, pcref, "print args underflow")
+		}
+		vals := append([]expr.Expr(nil), fr.Stack[len(fr.Stack)-n:]...)
+		fr.Stack = fr.Stack[:len(fr.Stack)-n]
+		parts := make([]OutPart, 0, len(desc))
+		vi := 0
+		for _, d := range desc {
+			if d.IsExpr {
+				parts = append(parts, OutPart{E: vals[vi]})
+				vi++
+			} else {
+				parts = append(parts, OutPart{Lit: d.Lit})
+			}
+		}
+		st.Outputs = append(st.Outputs, Output{TID: tid, PC: pcref, Parts: parts})
+		fr.PC++
+		return true, nil
+
+	case bytecode.INPUT:
+		pos := st.In.Pos
+		var v expr.Expr
+		if pos < st.In.NSymbolic {
+			hint := int64(0)
+			if pos < len(st.In.Values) {
+				hint = st.In.Values[pos]
+			}
+			v = st.NewSym(inputSymName(pos), hint)
+		} else {
+			cv := int64(0)
+			if pos < len(st.In.Values) {
+				cv = st.In.Values[pos]
+			}
+			v = expr.NewConst(cv)
+		}
+		st.In.Pos++
+		fr.Stack = append(fr.Stack, v)
+		fr.PC++
+		return true, nil
+
+	case bytecode.ARG:
+		iE, err := m.pop(th, fr, pcref)
+		if err != nil {
+			return false, err
+		}
+		i, err := m.concretize(iE, th, pcref)
+		if err != nil {
+			return false, err
+		}
+		if i < 0 || i >= int64(len(st.Args)) {
+			return false, st.fail(ErrBadArg, tid, pcref, fmt.Sprintf("arg(%d) of %d", i, len(st.Args)))
+		}
+		if st.SymArgs[i] {
+			s, ok := st.argSyms[int(i)]
+			if !ok {
+				s = st.NewSym(argSymName(int(i)), st.Args[i])
+				st.argSyms[int(i)] = s
+			}
+			fr.Stack = append(fr.Stack, s)
+		} else {
+			fr.Stack = append(fr.Stack, expr.NewConst(st.Args[i]))
+		}
+		fr.PC++
+		return true, nil
+
+	case bytecode.ASSERT:
+		c, err := m.pop(th, fr, pcref)
+		if err != nil {
+			return false, err
+		}
+		holds, berr := m.branch(c, th, pcref)
+		if berr != nil {
+			return false, berr
+		}
+		if !holds {
+			return false, st.fail(ErrAssert, tid, pcref, "")
+		}
+		fr.PC++
+		return true, nil
+	}
+	return false, st.fail(ErrStack, tid, pcref, "unknown opcode "+in.Op.String())
+}
+
+// unlockMutex releases m and wakes every thread blocked acquiring it
+// (they retry their LOCK/WAIT-reacquire instruction).
+func (m *Machine) unlockMutex(mid, tid int) {
+	st := m.St
+	st.Mutexes[mid].Owner = -1
+	for _, t := range st.Threads {
+		if t.Status == ThBlockedMutex && t.WaitMutex == mid {
+			t.Status = ThRunnable
+			t.WaitMutex = -1
+		}
+	}
+	st.notifySync(SyncEvent{Kind: EvRelease, TID: tid, Obj: mid})
+}
+
+func binOpOf(op bytecode.OpCode) expr.Op {
+	switch op {
+	case bytecode.ADD:
+		return expr.OpAdd
+	case bytecode.SUB:
+		return expr.OpSub
+	case bytecode.MUL:
+		return expr.OpMul
+	case bytecode.DIV:
+		return expr.OpDiv
+	case bytecode.MOD:
+		return expr.OpMod
+	case bytecode.BAND:
+		return expr.OpAnd
+	case bytecode.BOR:
+		return expr.OpOr
+	case bytecode.BXOR:
+		return expr.OpXor
+	case bytecode.SHL:
+		return expr.OpShl
+	case bytecode.SHR:
+		return expr.OpShr
+	case bytecode.EQ:
+		return expr.OpEq
+	case bytecode.NE:
+		return expr.OpNe
+	case bytecode.LT:
+		return expr.OpLt
+	case bytecode.LE:
+		return expr.OpLe
+	case bytecode.GT:
+		return expr.OpGt
+	case bytecode.GE:
+		return expr.OpGe
+	}
+	return expr.OpInvalid
+}

@@ -1,0 +1,139 @@
+package vm
+
+import "repro/internal/bytecode"
+
+// spinInfo tracks, per thread, how often each jump instruction executed
+// and which shared locations were read since tracking started. It backs
+// the timeout diagnosis of Algorithm 1 (§3.2, §3.5): when enforcing the
+// alternate ordering times out, a thread stuck in a loop whose exit
+// condition reads a shared variable that some other live thread may still
+// write is spinning on ad-hoc synchronization (race is "single ordering");
+// a loop whose exit condition no live thread can change is an infinite
+// loop (race is "spec violated"), following the criterion of [60].
+type spinInfo struct {
+	visits map[uint64]int
+	reads  map[Loc]struct{}
+	// previous window, kept so a diagnosis right after a reset still
+	// sees a full window's worth of data
+	prevVisits map[uint64]int
+	prevReads  map[Loc]struct{}
+	ticks      int64
+}
+
+// spinWindow is the number of tracked instructions after which a thread's
+// spin data is reset. Windowing scopes the read set to the loop the
+// thread is currently stuck in: shared reads made before entering the
+// loop (e.g. the racy read that selected this path) age out and do not
+// contaminate the ad-hoc-sync test.
+const spinWindow = 8192
+
+func pcKey(pc bytecode.PCRef) uint64 {
+	return uint64(uint32(pc.Fn))<<32 | uint64(uint32(pc.PC))
+}
+
+func (m *Machine) spinFor(tid int) *spinInfo {
+	if m.spin == nil {
+		m.spin = map[int]*spinInfo{}
+	}
+	si := m.spin[tid]
+	if si == nil {
+		si = &spinInfo{visits: map[uint64]int{}, reads: map[Loc]struct{}{}}
+		m.spin[tid] = si
+	}
+	return si
+}
+
+func (m *Machine) trackSpinPC(tid int, in bytecode.Instr, pc bytecode.PCRef) {
+	if !m.SpinTrack {
+		return
+	}
+	si := m.spinFor(tid)
+	si.ticks++
+	if si.ticks%spinWindow == 0 {
+		si.prevVisits, si.prevReads = si.visits, si.reads
+		si.visits = map[uint64]int{}
+		si.reads = map[Loc]struct{}{}
+	}
+	if in.Op != bytecode.JMP && in.Op != bytecode.JZ {
+		return
+	}
+	si.visits[pcKey(pc)]++
+}
+
+func (m *Machine) trackSpinRead(tid int, loc Loc) {
+	if !m.SpinTrack {
+		return
+	}
+	m.spinFor(tid).reads[loc] = struct{}{}
+}
+
+// spinLoopThreshold is the visit count above which a jump is considered
+// part of a non-terminating loop during a budgeted run.
+const spinLoopThreshold = 32
+
+// SpinDiagnosis is the result of DiagnoseSpin.
+type SpinDiagnosis struct {
+	// Looping: the thread repeatedly executed the same jump.
+	Looping bool
+	// SharedReads: shared locations read while looping.
+	SharedReads []Loc
+	// WritableByOther: some other live, unsuspended thread may still
+	// write one of SharedReads (per the static write-set analysis) —
+	// the loop is ad-hoc synchronization, not an infinite loop.
+	WritableByOther bool
+}
+
+// DiagnoseSpin inspects the spin-tracking data for tid. Call it after Run
+// returned StopBudget with SpinTrack enabled.
+func (m *Machine) DiagnoseSpin(tid int) SpinDiagnosis {
+	var d SpinDiagnosis
+	si := m.spin[tid]
+	if si == nil {
+		return d
+	}
+	visits := si.visits
+	reads := si.reads
+	if si.ticks%spinWindow < spinWindow/4 && si.prevVisits != nil {
+		// Fresh window: diagnose on the previous one instead.
+		visits, reads = si.prevVisits, si.prevReads
+	}
+	for _, n := range visits {
+		if n >= spinLoopThreshold {
+			d.Looping = true
+			break
+		}
+	}
+	if !d.Looping {
+		return d
+	}
+	for loc := range reads {
+		d.SharedReads = append(d.SharedReads, loc)
+		if m.St.CanBeWrittenByOther(loc, tid) {
+			d.WritableByOther = true
+		}
+	}
+	return d
+}
+
+// CanBeWrittenByOther reports whether any live thread other than tid could
+// still write loc, per the program's static transitive write sets. Heap
+// locations are conservatively considered writable (any thread holding the
+// reference may store through it).
+func (st *State) CanBeWrittenByOther(loc Loc, tid int) bool {
+	if loc.Space == SpaceHeap {
+		return true
+	}
+	g := int(loc.Obj)
+	for _, t := range st.Threads {
+		if t.ID == tid || t.Status == ThExited {
+			continue
+		}
+		for _, f := range t.Frames {
+			ws := st.Prog.WriteSet(f.Fn)
+			if _, ok := ws[g]; ok {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,569 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bytecode"
+	"repro/internal/expr"
+)
+
+// ThreadStatus is a thread's scheduling state.
+type ThreadStatus uint8
+
+// Thread statuses.
+const (
+	ThRunnable ThreadStatus = iota
+	ThBlockedMutex
+	ThBlockedCond
+	ThBlockedJoin
+	ThBlockedBarrier
+	ThExited
+)
+
+var threadStatusNames = map[ThreadStatus]string{
+	ThRunnable: "runnable", ThBlockedMutex: "blocked-mutex",
+	ThBlockedCond: "blocked-cond", ThBlockedJoin: "blocked-join",
+	ThBlockedBarrier: "blocked-barrier", ThExited: "exited",
+}
+
+// String names the status.
+func (s ThreadStatus) String() string {
+	if n, ok := threadStatusNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// Frame is one function activation.
+type Frame struct {
+	Fn     int
+	PC     int
+	Locals []expr.Expr
+	Stack  []expr.Expr
+}
+
+func (f *Frame) clone() *Frame {
+	nf := &Frame{Fn: f.Fn, PC: f.PC}
+	nf.Locals = append([]expr.Expr(nil), f.Locals...)
+	nf.Stack = append([]expr.Expr(nil), f.Stack...)
+	return nf
+}
+
+// Thread is one PIL thread.
+type Thread struct {
+	ID     int
+	Status ThreadStatus
+	Frames []*Frame
+
+	// Blocking detail (valid per Status).
+	WaitMutex   int // mutex being acquired (LOCK, or WAIT reacquire phase)
+	WaitCond    int
+	WaitJoin    int
+	WaitBarrier int
+	WaitPhase   int // for WAIT: 0 = on condvar, 1 = reacquiring the mutex
+
+	// Instrs counts completed instructions; it is the per-thread
+	// "absolute count of instructions executed" the paper's schedule
+	// traces use to identify racing accesses precisely (§3.1).
+	Instrs int64
+}
+
+func (t *Thread) clone() *Thread {
+	nt := *t
+	nt.Frames = make([]*Frame, len(t.Frames))
+	for i, f := range t.Frames {
+		nt.Frames[i] = f.clone()
+	}
+	return &nt
+}
+
+// Top returns the active frame, or nil when the thread has exited.
+func (t *Thread) Top() *Frame {
+	if len(t.Frames) == 0 {
+		return nil
+	}
+	return t.Frames[len(t.Frames)-1]
+}
+
+// PCRef returns the thread's current static location.
+func (t *Thread) PCRef(p *bytecode.Program) bytecode.PCRef {
+	f := t.Top()
+	if f == nil {
+		return bytecode.PCRef{Fn: -1, PC: -1}
+	}
+	line := int32(0)
+	if f.PC < len(p.Funcs[f.Fn].Code) {
+		line = p.Funcs[f.Fn].Code[f.PC].Line
+	}
+	return bytecode.PCRef{Fn: f.Fn, PC: f.PC, Line: line}
+}
+
+// mutexState is one mutex. Owner is -1 when free.
+type mutexState struct {
+	Owner int
+}
+
+// condState is one condition variable: the FIFO of blocked thread ids.
+type condState struct {
+	Waiters []int
+}
+
+// barrierState tracks arrived thread ids.
+type barrierState struct {
+	Arrived []int
+}
+
+// HeapBlock is one allocation.
+type HeapBlock struct {
+	Cells []expr.Expr
+	Freed bool
+}
+
+// OutPart is one piece of an output record: a literal or a value. Exactly
+// one of Lit/E is meaningful (E == nil for literals).
+type OutPart struct {
+	Lit string
+	E   expr.Expr
+}
+
+// Output is one program output record ("the arguments passed to output
+// system calls", §3.3.1). In symbolic executions the value parts may be
+// symbolic formulae.
+type Output struct {
+	TID   int
+	PC    bytecode.PCRef
+	Parts []OutPart
+}
+
+// String renders the output record concretely where possible.
+func (o Output) String() string {
+	var b strings.Builder
+	for _, p := range o.Parts {
+		if p.E != nil {
+			b.WriteString(p.E.String())
+		} else {
+			b.WriteString(p.Lit)
+		}
+	}
+	return b.String()
+}
+
+// Inputs models the log of non-deterministic program inputs (the system
+// call log of the paper's traces). The first NSymbolic reads return fresh
+// symbolic variables whose concolic hint is the recorded concrete value.
+type Inputs struct {
+	Values    []int64
+	Pos       int
+	NSymbolic int
+}
+
+// SyncKind enumerates synchronization events delivered to observers.
+type SyncKind uint8
+
+// Synchronization event kinds.
+const (
+	EvSpawn SyncKind = iota
+	EvExit
+	EvJoin
+	EvAcquire
+	EvRelease
+	EvSignal  // includes broadcast; Others lists woken threads
+	EvBarrier // Others lists all released participants
+)
+
+// SyncEvent is delivered to observers for happens-before tracking.
+type SyncEvent struct {
+	Kind   SyncKind
+	TID    int
+	Obj    int // mutex / cond / barrier id, or child tid for EvSpawn
+	Others []int
+}
+
+// Observer receives memory and synchronization events. Observers are part
+// of the state and are cloned with it (the race detector's vector clocks
+// must fork along with execution states).
+type Observer interface {
+	// OnAccess is called for every shared memory access, before its
+	// effect. tInstr is the thread's completed-instruction count, which
+	// identifies this access for replay.
+	OnAccess(st *State, tid int, loc Loc, write bool, pc bytecode.PCRef, tInstr int64)
+	// OnSync is called after each synchronization event.
+	OnSync(st *State, ev SyncEvent)
+	// CloneObs returns a deep copy.
+	CloneObs() Observer
+}
+
+// State is the complete machine state: memory, threads, scheduler
+// position, inputs/outputs, path condition, and observers. It supports
+// deep cloning, which implements checkpointing (Algorithm 1) and state
+// forking (Algorithm 2).
+type State struct {
+	Prog *bytecode.Program // immutable, shared
+
+	Globals  [][]expr.Expr // per global: cells
+	Heap     map[int64]*HeapBlock
+	NextRef  int64
+	Mutexes  []mutexState
+	Conds    []condState
+	Barriers []barrierState
+
+	Threads []*Thread
+	Cur     int
+
+	Outputs []Output
+	In      Inputs
+	Args    []int64
+	SymArgs []bool // per-arg: reads produce symbolic values
+
+	// PathCond is the conjunction of branch constraints accumulated by
+	// symbolic execution; Hints maps every created symbol to its concolic
+	// seed value, so the state always carries a satisfying witness.
+	PathCond []expr.Expr
+	Hints    expr.Assignment
+
+	// Suspended threads are invisible to the scheduler; the classifier
+	// suspends the first racing thread to enforce the alternate ordering.
+	Suspended map[int]bool
+
+	Steps   int64 // total completed instructions
+	Halted  bool  // main returned: the process exits
+	Failure *RuntimeError
+
+	Observers []Observer
+
+	argSyms map[int]*expr.Sym // memoized symbols for symbolic args
+}
+
+// NewState builds the initial state for a program with the given concrete
+// arguments and input log.
+func NewState(p *bytecode.Program, args []int64, inputs []int64) *State {
+	st := &State{
+		Prog:      p,
+		Heap:      map[int64]*HeapBlock{},
+		NextRef:   1,
+		Args:      append([]int64(nil), args...),
+		SymArgs:   make([]bool, len(args)),
+		In:        Inputs{Values: append([]int64(nil), inputs...)},
+		Hints:     expr.Assignment{},
+		Suspended: map[int]bool{},
+		Cur:       0,
+		argSyms:   map[int]*expr.Sym{},
+	}
+	st.Globals = make([][]expr.Expr, len(p.Globals))
+	for i, g := range p.Globals {
+		cells := make([]expr.Expr, g.Size)
+		for j := range cells {
+			cells[j] = expr.NewConst(0)
+		}
+		if g.Size == 1 {
+			cells[0] = expr.NewConst(g.Init)
+		}
+		st.Globals[i] = cells
+	}
+	st.Mutexes = make([]mutexState, len(p.Mutexes))
+	for i := range st.Mutexes {
+		st.Mutexes[i].Owner = -1
+	}
+	st.Conds = make([]condState, len(p.Conds))
+	st.Barriers = make([]barrierState, len(p.Barriers))
+
+	mainFn := &p.Funcs[p.MainFunc]
+	fr := &Frame{Fn: p.MainFunc, Locals: make([]expr.Expr, mainFn.NLocals)}
+	for i := range fr.Locals {
+		fr.Locals[i] = expr.NewConst(0)
+	}
+	st.Threads = []*Thread{{
+		ID: 0, Status: ThRunnable, Frames: []*Frame{fr},
+		WaitMutex: -1, WaitCond: -1, WaitJoin: -1, WaitBarrier: -1,
+	}}
+	return st
+}
+
+// Clone deep-copies the state. Expressions and the program are immutable
+// and shared; everything mutable is copied.
+func (st *State) Clone() *State {
+	ns := &State{
+		Prog:    st.Prog,
+		NextRef: st.NextRef,
+		Cur:     st.Cur,
+		Steps:   st.Steps,
+		Halted:  st.Halted,
+		Failure: st.Failure,
+		In:      Inputs{Values: append([]int64(nil), st.In.Values...), Pos: st.In.Pos, NSymbolic: st.In.NSymbolic},
+		Args:    append([]int64(nil), st.Args...),
+		SymArgs: append([]bool(nil), st.SymArgs...),
+	}
+	ns.Globals = make([][]expr.Expr, len(st.Globals))
+	for i, cells := range st.Globals {
+		ns.Globals[i] = append([]expr.Expr(nil), cells...)
+	}
+	ns.Heap = make(map[int64]*HeapBlock, len(st.Heap))
+	for ref, blk := range st.Heap {
+		ns.Heap[ref] = &HeapBlock{Cells: append([]expr.Expr(nil), blk.Cells...), Freed: blk.Freed}
+	}
+	ns.Mutexes = append([]mutexState(nil), st.Mutexes...)
+	ns.Conds = make([]condState, len(st.Conds))
+	for i := range st.Conds {
+		ns.Conds[i].Waiters = append([]int(nil), st.Conds[i].Waiters...)
+	}
+	ns.Barriers = make([]barrierState, len(st.Barriers))
+	for i := range st.Barriers {
+		ns.Barriers[i].Arrived = append([]int(nil), st.Barriers[i].Arrived...)
+	}
+	ns.Threads = make([]*Thread, len(st.Threads))
+	for i, t := range st.Threads {
+		ns.Threads[i] = t.clone()
+	}
+	ns.Outputs = append([]Output(nil), st.Outputs...)
+	ns.PathCond = append([]expr.Expr(nil), st.PathCond...)
+	ns.Hints = make(expr.Assignment, len(st.Hints))
+	for k, v := range st.Hints {
+		ns.Hints[k] = v
+	}
+	ns.Suspended = make(map[int]bool, len(st.Suspended))
+	for k, v := range st.Suspended {
+		ns.Suspended[k] = v
+	}
+	ns.Observers = make([]Observer, len(st.Observers))
+	for i, o := range st.Observers {
+		ns.Observers[i] = o.CloneObs()
+	}
+	ns.argSyms = make(map[int]*expr.Sym, len(st.argSyms))
+	for k, v := range st.argSyms {
+		ns.argSyms[k] = v
+	}
+	return ns
+}
+
+// RunnableTIDs returns the schedulable threads in id order, excluding
+// suspended ones.
+func (st *State) RunnableTIDs() []int {
+	var out []int
+	for _, t := range st.Threads {
+		if t.Status == ThRunnable && !st.Suspended[t.ID] {
+			out = append(out, t.ID)
+		}
+	}
+	return out
+}
+
+// LiveCount returns the number of threads that have not exited.
+func (st *State) LiveCount() int {
+	n := 0
+	for _, t := range st.Threads {
+		if t.Status != ThExited {
+			n++
+		}
+	}
+	return n
+}
+
+// Finished reports whether the program has terminated.
+func (st *State) Finished() bool {
+	return st.Halted || st.LiveCount() == 0
+}
+
+// Suspend hides a thread from the scheduler (classifier orchestration).
+func (st *State) Suspend(tid int) { st.Suspended[tid] = true }
+
+// Resume reverses Suspend.
+func (st *State) Resume(tid int) { delete(st.Suspended, tid) }
+
+// NewSym mints a fresh symbolic variable with a concolic hint and records
+// the hint.
+func (st *State) NewSym(name string, hint int64) *expr.Sym {
+	s := expr.NewSym(name)
+	st.Hints[name] = hint
+	return s
+}
+
+// AddConstraint appends a path constraint.
+func (st *State) AddConstraint(c expr.Expr) {
+	if v, ok := expr.ConstVal(c); ok && v != 0 {
+		return // trivially true
+	}
+	st.PathCond = append(st.PathCond, c)
+}
+
+// HintEval evaluates e under the state's concolic hints; every symbol the
+// state created has a hint, so this cannot fail for well-formed states.
+func (st *State) HintEval(e expr.Expr) (int64, error) {
+	return expr.Eval(e, st.Hints)
+}
+
+// Concretize substitutes model (overlaid on the state's hints) into every
+// expression in the state, producing a fully concrete state: memory,
+// stacks, outputs, and pending inputs. The path condition is cleared.
+// This is how alternate executions become "fully concrete" (§3.3.1).
+func (st *State) Concretize(model expr.Assignment) {
+	env := make(expr.Assignment, len(st.Hints)+len(model))
+	for k, v := range st.Hints {
+		env[k] = v
+	}
+	for k, v := range model {
+		env[k] = v
+	}
+	sub := func(e expr.Expr) expr.Expr { return expr.Substitute(e, env) }
+	for i, cells := range st.Globals {
+		for j, c := range cells {
+			st.Globals[i][j] = sub(c)
+		}
+	}
+	for _, blk := range st.Heap {
+		for j, c := range blk.Cells {
+			blk.Cells[j] = sub(c)
+		}
+	}
+	for _, t := range st.Threads {
+		for _, f := range t.Frames {
+			for i, l := range f.Locals {
+				f.Locals[i] = sub(l)
+			}
+			for i, s := range f.Stack {
+				f.Stack[i] = sub(s)
+			}
+		}
+	}
+	for oi := range st.Outputs {
+		for pi := range st.Outputs[oi].Parts {
+			if e := st.Outputs[oi].Parts[pi].E; e != nil {
+				st.Outputs[oi].Parts[pi].E = sub(e)
+			}
+		}
+	}
+	// Future arg reads become concrete, consistent with the model.
+	for i := range st.SymArgs {
+		if st.SymArgs[i] {
+			if v, ok := env[argSymName(i)]; ok {
+				st.Args[i] = v
+			}
+			st.SymArgs[i] = false
+		}
+	}
+	st.argSyms = map[int]*expr.Sym{}
+	// Future input reads become concrete, consistent with the model.
+	for p := 0; p < st.In.NSymbolic; p++ {
+		if v, ok := env[inputSymName(p)]; ok {
+			for len(st.In.Values) <= p {
+				st.In.Values = append(st.In.Values, 0)
+			}
+			st.In.Values[p] = v
+		}
+	}
+	st.In.NSymbolic = 0
+	st.PathCond = nil
+}
+
+func argSymName(i int) string   { return fmt.Sprintf("arg%d", i) }
+func inputSymName(i int) string { return fmt.Sprintf("in%d", i) }
+
+// MemoryFingerprint summarizes globals, heap and thread-local memory as a
+// canonical string; the Record/Replay-Analyzer baseline [45] compares
+// these fingerprints immediately after the race ("post-race state
+// comparison").
+func (st *State) MemoryFingerprint() string {
+	var b strings.Builder
+	for i, cells := range st.Globals {
+		fmt.Fprintf(&b, "g%d:", i)
+		for _, c := range cells {
+			b.WriteString(c.String())
+			b.WriteByte(',')
+		}
+	}
+	refs := make([]int64, 0, len(st.Heap))
+	for r := range st.Heap {
+		refs = append(refs, r)
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i] < refs[j] })
+	for _, r := range refs {
+		blk := st.Heap[r]
+		fmt.Fprintf(&b, "h%d(f=%v):", r, blk.Freed)
+		for _, c := range blk.Cells {
+			b.WriteString(c.String())
+			b.WriteByte(',')
+		}
+	}
+	for _, t := range st.Threads {
+		fmt.Fprintf(&b, "t%d(%s):", t.ID, t.Status)
+		for _, f := range t.Frames {
+			for _, l := range f.Locals {
+				b.WriteString(l.String())
+				b.WriteByte(',')
+			}
+		}
+	}
+	return b.String()
+}
+
+// OutputTail returns outputs recorded at index from onward.
+func (st *State) OutputTail(from int) []Output {
+	if from >= len(st.Outputs) {
+		return nil
+	}
+	return st.Outputs[from:]
+}
+
+// RenderOutputs renders all outputs, one line per record; values that are
+// still symbolic render as formulae.
+func (st *State) RenderOutputs() string {
+	var b strings.Builder
+	for _, o := range st.Outputs {
+		b.WriteString(o.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (st *State) fail(kind ErrKind, tid int, pc bytecode.PCRef, msg string) *RuntimeError {
+	e := &RuntimeError{Kind: kind, TID: tid, PC: pc, Msg: msg}
+	st.Failure = e
+	return e
+}
+
+// notifyAccess delivers a memory access to all observers.
+func (st *State) notifyAccess(tid int, loc Loc, write bool, pc bytecode.PCRef, tInstr int64) {
+	for _, o := range st.Observers {
+		o.OnAccess(st, tid, loc, write, pc, tInstr)
+	}
+}
+
+// notifySync delivers a sync event to all observers.
+func (st *State) notifySync(ev SyncEvent) {
+	for _, o := range st.Observers {
+		o.OnSync(st, ev)
+	}
+}
+
+// SharedMemoryFingerprint summarizes only the shared address spaces
+// (globals and heap), excluding thread-private frames and scheduler
+// positions. The Record/Replay-Analyzer baseline [45] compares these
+// fingerprints "immediately after the race": by that point both racing
+// accesses have executed in both interleavings, but the threads' own
+// progress necessarily differs between the orderings, so only shared
+// memory is a meaningful comparand.
+func (st *State) SharedMemoryFingerprint() string {
+	var b strings.Builder
+	for i, cells := range st.Globals {
+		fmt.Fprintf(&b, "g%d:", i)
+		for _, c := range cells {
+			b.WriteString(c.String())
+			b.WriteByte(',')
+		}
+	}
+	refs := make([]int64, 0, len(st.Heap))
+	for r := range st.Heap {
+		refs = append(refs, r)
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i] < refs[j] })
+	for _, r := range refs {
+		blk := st.Heap[r]
+		fmt.Fprintf(&b, "h%d(f=%v):", r, blk.Freed)
+		for _, c := range blk.Cells {
+			b.WriteString(c.String())
+			b.WriteByte(',')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,131 @@
+package workloads
+
+import "repro/internal/core"
+
+// Ctrace reproduces the multithreaded debug-library workload. Its
+// signature race is the paper's Fig 4 example (adapted from a real Ctrace
+// bug): the race on the event id is harmless on the recorded (hash-table)
+// input path, but on the array path the alternate ordering overflows the
+// statically sized stats array — only multi-path analysis finds it
+// (Table 2: ctrace, 1 crash). The remaining races are trace counters that
+// reach the (debug-gated) output and redundant trace-level writes.
+func Ctrace() *Workload {
+	return &Workload{
+		Name: "ctrace", Language: "C", PaperLOC: 886, Threads: 3,
+		Source: `
+// ctrace-sim: trace library with racy bookkeeping.
+var id = 3
+var table[8]
+var arr[4]
+var seq = 0
+var c1 = 0
+var c2 = 0
+var c3 = 0
+var c4 = 0
+var c5 = 0
+var c6 = 0
+var c7 = 0
+var c8 = 0
+var c9 = 0
+var lvl1 = 0
+var lvl2 = 0
+var lvl3 = 0
+var lvl4 = 0
+fn bumpSeq() { seq = seq + 1 }
+fn bump1() { c1 = c1 + 1 }
+fn bump2() { c2 = c2 + 1 }
+fn bump3() { c3 = c3 + 1 }
+fn bump4() { c4 = c4 + 1 }
+fn bump5() { c5 = c5 + 1 }
+fn bump6() { c6 = c6 + 1 }
+fn bump7() { c7 = c7 + 1 }
+fn bump8() { c8 = c8 + 1 }
+fn bump9() { c9 = c9 + 1 }
+fn reqHandler() {
+	id = id + 1
+	bumpSeq()
+	bump1()
+	bump2()
+	bump3()
+	bump4()
+	bump5()
+	lvl1 = 2
+	lvl2 = 2
+	lvl3 = 2
+}
+fn updateStats() {
+	let use_hash = input()
+	if use_hash > 0 {
+		print("hash ", table[id])
+	} else {
+		if id < 4 {
+			arr[id] = 1
+		}
+	}
+	bumpSeq()
+	bump1()
+	bump2()
+	bump3()
+	bump4()
+	bump5()
+	bump6()
+	bump7()
+	bump8()
+	bump9()
+	lvl1 = 3
+	lvl2 = 3
+	lvl4 = 3
+}
+fn flusher() {
+	bump6()
+	bump7()
+	bump8()
+	bump9()
+	lvl3 = 3
+	lvl4 = 2
+}
+fn main() {
+	let dbg = input()
+	let t1 = spawn reqHandler()
+	let t2 = spawn updateStats()
+	let t3 = spawn flusher()
+	join(t1)
+	join(t2)
+	join(t3)
+	print("trace seq=", seq)
+	if dbg > 0 {
+		print("c1=", c1)
+		print("c2=", c2)
+		print("c3=", c3)
+		print("c4=", c4)
+		print("c5=", c5)
+		print("c6=", c6)
+		print("c7=", c7)
+		print("c8=", c8)
+		print("c9=", c9)
+	} else {
+		print("trace closed")
+	}
+}`,
+		// input 0 = dbg (recorded off), input 1 = use_hash (recorded on).
+		Inputs: []int64{0, 1},
+		Truth: map[string]Expected{
+			"id":   {Truth: core.SpecViolated, Portend: core.SpecViolated, Consequence: core.ConsCrash},
+			"seq":  {Truth: core.OutputDiffers, Portend: core.OutputDiffers},
+			"c1":   {Truth: core.OutputDiffers, Portend: core.OutputDiffers},
+			"c2":   {Truth: core.OutputDiffers, Portend: core.OutputDiffers},
+			"c3":   {Truth: core.OutputDiffers, Portend: core.OutputDiffers},
+			"c4":   {Truth: core.OutputDiffers, Portend: core.OutputDiffers},
+			"c5":   {Truth: core.OutputDiffers, Portend: core.OutputDiffers},
+			"c6":   {Truth: core.OutputDiffers, Portend: core.OutputDiffers},
+			"c7":   {Truth: core.OutputDiffers, Portend: core.OutputDiffers},
+			"c8":   {Truth: core.OutputDiffers, Portend: core.OutputDiffers},
+			"c9":   {Truth: core.OutputDiffers, Portend: core.OutputDiffers},
+			"lvl1": {Truth: core.KWitnessHarmless, Portend: core.KWitnessHarmless, StatesDiffer: true},
+			"lvl2": {Truth: core.KWitnessHarmless, Portend: core.KWitnessHarmless, StatesDiffer: true},
+			"lvl3": {Truth: core.KWitnessHarmless, Portend: core.KWitnessHarmless, StatesDiffer: true},
+			"lvl4": {Truth: core.KWitnessHarmless, Portend: core.KWitnessHarmless, StatesDiffer: true},
+		},
+		Paper: PaperRow{Distinct: 15, Instances: 19, SpecViol: 1, OutDiff: 10, KWDiff: 4, CloudNineSecs: 3.67, PortendAvgSecs: 24.29},
+	}
+}

@@ -1,0 +1,163 @@
+package workloads
+
+import "repro/internal/core"
+
+// Memcached reproduces the cache-server workload: two initialization
+// threads publish settings behind ad-hoc ready flags (16 singleOrd
+// races), and worker threads bump stats counters whose values reach the
+// "stats" output (2 outDiff, Fig 8(c)-style). The what-if analysis of
+// §5.1 — "is it safe to remove this synchronization?" — targets the
+// mutex that guards the slot index: removing it lets a reader observe the
+// transient out-of-range index and crash (the introduced memcached crash
+// of Table 2).
+func Memcached() *Workload {
+	w := &Workload{
+		Name: "memcached", Language: "C", PaperLOC: 8300, Threads: 8,
+		Source: `
+// memcached-sim: settings published via ad-hoc init flags; stats counters
+// racy by design (the paper: statistics "need not be precise").
+var s1 = 0
+var s2 = 0
+var s3 = 0
+var s4 = 0
+var s5 = 0
+var s6 = 0
+var s7 = 0
+var t1 = 0
+var t2 = 0
+var t3 = 0
+var t4 = 0
+var t5 = 0
+var t6 = 0
+var t7 = 0
+var readyA = 0
+var readyB = 0
+var currItems = 0
+var totalGets = 0
+var slotIdx = 2
+var slots[4]
+mutex slotMu
+fn bumpItems() { currItems = currItems + 1 }
+fn bumpGets() { totalGets = totalGets + 1 }
+fn initThread() {
+	s1 = 11
+	s2 = 12
+	s3 = 13
+	s4 = 14
+	s5 = 15
+	s6 = 16
+	s7 = 17
+	sleep(1)
+	sleep(1)
+	sleep(1)
+	sleep(1)
+	sleep(1)
+	sleep(1)
+	sleep(1)
+	sleep(1)
+	sleep(1)
+	sleep(1)
+	readyA = 1
+}
+fn cacheThread() {
+	t1 = 21
+	t2 = 22
+	t3 = 23
+	t4 = 24
+	t5 = 25
+	t6 = 26
+	t7 = 27
+	sleep(1)
+	sleep(1)
+	sleep(1)
+	sleep(1)
+	sleep(1)
+	sleep(1)
+	sleep(1)
+	sleep(1)
+	sleep(1)
+	sleep(1)
+	readyB = 1
+}
+fn readerA() {
+	while readyA == 0 { usleep(50) }
+	let sum = s1 + s2 + s3 + s4 + s5 + s6 + s7
+	assert(sum == 98)
+}
+fn readerB() {
+	while readyB == 0 { usleep(50) }
+	let sum = t1 + t2 + t3 + t4 + t5 + t6 + t7
+	assert(sum == 168)
+}
+fn itemWorker() {
+	bumpItems()
+	lock(slotMu)
+	slotIdx = 4
+	slotIdx = 1
+	unlock(slotMu)
+}
+fn itemWorker2() {
+	bumpItems()
+	yield()
+	yield()
+	lock(slotMu)
+	let i = slotIdx
+	unlock(slotMu)
+	slots[i] = 9
+}
+fn getWorker() {
+	bumpGets()
+}
+fn main() {
+	let verbose = input()
+	let ti = spawn initThread()
+	let tc = spawn cacheThread()
+	let ra = spawn readerA()
+	let rb = spawn readerB()
+	let w1 = spawn itemWorker()
+	let w2 = spawn itemWorker2()
+	let w3 = spawn getWorker()
+	let w4 = spawn getWorker()
+	join(ti)
+	join(tc)
+	join(ra)
+	join(rb)
+	join(w1)
+	join(w2)
+	join(w3)
+	join(w4)
+	print("curr_items=", currItems)
+	if verbose > 0 {
+		print("total_gets=", totalGets)
+	} else {
+		print("stats end")
+	}
+}`,
+		Inputs: []int64{0},
+		Truth: map[string]Expected{
+			"s1":        {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"s2":        {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"s3":        {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"s4":        {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"s5":        {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"s6":        {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"s7":        {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"t1":        {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"t2":        {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"t3":        {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"t4":        {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"t5":        {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"t6":        {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"t7":        {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"readyA":    {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"readyB":    {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"currItems": {Truth: core.OutputDiffers, Portend: core.OutputDiffers},
+			"totalGets": {Truth: core.OutputDiffers, Portend: core.OutputDiffers},
+		},
+		Paper: PaperRow{Distinct: 18, Instances: 104, OutDiff: 2, SingleOrd: 16, CloudNineSecs: 73.87, PortendAvgSecs: 645.99},
+	}
+	// The what-if analysis removes the slotMu critical sections; the
+	// needle matches both lock and unlock lines.
+	w.WhatIfLines = SyncLines(w.Source, "lock(slotMu)")
+	return w
+}

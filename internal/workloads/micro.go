@@ -1,0 +1,136 @@
+package workloads
+
+import "repro/internal/core"
+
+// The four micro-benchmarks of §5 capture the classic classes of harmless
+// races [30, 45]. Each contains one distinct race that Portend must
+// classify "k-witness harmless" with identical post-race states (Table 3).
+
+// AVV is "all values valid": a monitor samples a progress gauge that a
+// worker updates without synchronization; every observable value is
+// valid.
+func AVV() *Workload {
+	return &Workload{
+		Name: "avv", Language: "C++", PaperLOC: 49, Threads: 3,
+		Source: `
+// AVV: all values valid.
+var progress = 50
+var sample = 0
+fn worker() {
+	progress = 75
+}
+fn monitor() {
+	sample = progress
+}
+fn main() {
+	let w = spawn worker()
+	let m = spawn monitor()
+	join(w)
+	join(m)
+	print("avv done")
+}`,
+		Truth: map[string]Expected{
+			"progress": {Truth: core.KWitnessHarmless, Portend: core.KWitnessHarmless},
+		},
+		Paper: PaperRow{Distinct: 1, Instances: 1, KWSame: 1, CloudNineSecs: 0.72, PortendAvgSecs: 0.83},
+	}
+}
+
+// DCL is double-checked locking: the unlocked fast-path read of the
+// resource races with the locked initializing write, but every
+// interleaving initializes exactly once.
+func DCL() *Workload {
+	return &Workload{
+		Name: "dcl", Language: "C++", PaperLOC: 45, Threads: 5,
+		Source: `
+// DCL: double-checked locking.
+var resource = 0
+mutex m
+fn get() {
+	let r = resource
+	if r == 0 {
+		lock(m)
+		if resource == 0 { resource = 42 }
+		unlock(m)
+		r = 42
+	}
+	return r
+}
+fn user() {
+	let v = get()
+	assert(v == 42)
+}
+fn main() {
+	let a = spawn user()
+	let b = spawn user()
+	let c = spawn user()
+	let d = spawn user()
+	join(a)
+	join(b)
+	join(c)
+	join(d)
+	print("dcl done")
+}`,
+		Truth: map[string]Expected{
+			"resource": {Truth: core.KWitnessHarmless, Portend: core.KWitnessHarmless},
+		},
+		Paper: PaperRow{Distinct: 1, Instances: 1, KWSame: 1, CloudNineSecs: 0.74, PortendAvgSecs: 0.85},
+	}
+}
+
+// DBM is disjoint bit manipulation: racing read-modify-writes OR disjoint
+// bits into a flags word. (The value is deliberately not printed: on real
+// hardware the bit-ops are independent; a whole-word lost update is the
+// memory-level artifact the benchmark tolerates.)
+func DBM() *Workload {
+	return &Workload{
+		Name: "dbm", Language: "C++", PaperLOC: 45, Threads: 3,
+		Source: `
+// DBM: disjoint bit manipulation.
+var bits = 0
+fn setLow() {
+	bits = bits | 1
+}
+fn setHigh() {
+	bits = bits | 2
+}
+fn main() {
+	let a = spawn setLow()
+	let b = spawn setHigh()
+	join(a)
+	join(b)
+	print("dbm done")
+}`,
+		Truth: map[string]Expected{
+			"bits": {Truth: core.KWitnessHarmless, Portend: core.KWitnessHarmless},
+		},
+		Paper: PaperRow{Distinct: 1, Instances: 1, KWSame: 1, CloudNineSecs: 0.72, PortendAvgSecs: 0.81},
+	}
+}
+
+// RW is redundant writes: racing threads store the same value.
+func RW() *Workload {
+	return &Workload{
+		Name: "rw", Language: "C++", PaperLOC: 42, Threads: 3,
+		Source: `
+// RW: redundant writes.
+var generation = 7
+fn resetA() {
+	generation = 1
+}
+fn resetB() {
+	generation = 1
+}
+fn main() {
+	let a = spawn resetA()
+	let b = spawn resetB()
+	join(a)
+	join(b)
+	print("gen=", generation)
+}`,
+		Truth: map[string]Expected{
+			"generation": {Truth: core.KWitnessHarmless, Portend: core.KWitnessHarmless},
+		},
+		Paper: PaperRow{Distinct: 1, Instances: 1, KWSame: 1, CloudNineSecs: 0.74, PortendAvgSecs: 0.81},
+	}
+}

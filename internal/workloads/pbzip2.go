@@ -1,0 +1,181 @@
+package workloads
+
+import "repro/internal/core"
+
+// Pbzip2 reproduces the parallel-compressor workload: a three-stage
+// pipeline (file reader → compressor → output writer) synchronized with
+// ad-hoc "done" flags exactly like the paper's Fig 8(d). The pipeline
+// data slots protected by those flags are the bulk of the "single
+// ordering" races (Table 3: 25); three races crash under the alternate
+// ordering (Table 2: 3 crashes) and three queue/ratio counters reach the
+// output (3 outDiff, one of which only a non-recorded input path prints).
+func Pbzip2() *Workload {
+	return &Workload{
+		Name: "pbzip2", Language: "C++", PaperLOC: 6686, Threads: 4,
+		Source: `
+// pbzip2-sim: reader fills block slots, sets fileDone; compressor spins
+// on fileDone, fills output slots, sets compDone; writer spins on
+// compDone, consumes outputs, sets allDone; main spins on allDone.
+var b1 = 0
+var b2 = 0
+var b3 = 0
+var b4 = 0
+var b5 = 0
+var b6 = 0
+var b7 = 0
+var b8 = 0
+var b9 = 0
+var b10 = 0
+var b11 = 0
+var o1 = 0
+var o2 = 0
+var o3 = 0
+var o4 = 0
+var o5 = 0
+var o6 = 0
+var o7 = 0
+var o8 = 0
+var o9 = 0
+var o10 = 0
+var o11 = 0
+var fileDone = 0
+var compDone = 0
+var allDone = 0
+var qlen = 0
+var ratio = 0
+var chunks = 0
+var wIdx = 4
+var wArr[4]
+var fIdx = 4
+var fArr[4]
+var bufInit = 1
+var bufRef = 0
+fn freeBuf() {
+	if bufInit == 1 {
+		bufInit = 0
+		free(bufRef)
+	}
+}
+fn reader() {
+	b1 = 101
+	b2 = 102
+	b3 = 103
+	b4 = 104
+	b5 = 105
+	b6 = 106
+	b7 = 107
+	b8 = 108
+	b9 = 109
+	b10 = 110
+	b11 = 111
+	sleep(1)
+	sleep(1)
+	sleep(1)
+	sleep(1)
+	sleep(1)
+	fileDone = 1
+	qlen = qlen + 1
+	chunks = chunks + 1
+}
+fn compressor() {
+	while fileDone == 0 { usleep(50) }
+	o1 = b1 * 2
+	o2 = b2 * 2
+	o3 = b3 * 2
+	o4 = b4 * 2
+	o5 = b5 * 2
+	o6 = b6 * 2
+	o7 = b7 * 2
+	o8 = b8 * 2
+	o9 = b9 * 2
+	o10 = b10 * 2
+	o11 = b11 * 2
+	fArr[fIdx] = 9
+	sleep(1)
+	sleep(1)
+	sleep(1)
+	sleep(1)
+	sleep(1)
+	compDone = 1
+	qlen = qlen - 1
+	ratio = ratio + 3
+}
+fn writer() {
+	while compDone == 0 { usleep(50) }
+	let wsum = o1 + o2 + o3 + o4 + o5 + o6 + o7 + o8 + o9 + o10 + o11
+	wArr[wIdx] = wsum
+	freeBuf()
+	ratio = ratio + 2
+	sleep(1)
+	sleep(1)
+	sleep(1)
+	sleep(1)
+	sleep(1)
+	allDone = 1
+}
+fn extra() {
+	wIdx = 1
+	fIdx = 1
+	chunks = chunks + 1
+	freeBuf()
+}
+fn main() {
+	bufRef = alloc(4)
+	let stats = input()
+	let te = spawn extra()
+	let tr = spawn reader()
+	let tc = spawn compressor()
+	let tw = spawn writer()
+	while allDone == 0 { usleep(50) }
+	join(te)
+	join(tr)
+	join(tc)
+	join(tw)
+	print("qlen=", qlen)
+	print("ratio=", ratio)
+	if stats > 0 {
+		print("chunks=", chunks)
+	} else {
+		print("pbzip2 ok")
+	}
+}`,
+		Inputs: []int64{0},
+		Truth: map[string]Expected{
+			// pipeline data and flags: single ordering
+			"b1":       {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"b2":       {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"b3":       {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"b4":       {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"b5":       {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"b6":       {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"b7":       {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"b8":       {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"b9":       {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"b10":      {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"b11":      {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"o1":       {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"o2":       {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"o3":       {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"o4":       {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"o5":       {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"o6":       {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"o7":       {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"o8":       {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"o9":       {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"o10":      {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"o11":      {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"fileDone": {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"compDone": {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			"allDone":  {Truth: core.SingleOrdering, Portend: core.SingleOrdering},
+			// crashes under the alternate ordering
+			"wIdx":    {Truth: core.SpecViolated, Portend: core.SpecViolated, Consequence: core.ConsCrash},
+			"fIdx":    {Truth: core.SpecViolated, Portend: core.SpecViolated, Consequence: core.ConsCrash},
+			"bufInit": {Truth: core.SpecViolated, Portend: core.SpecViolated, Consequence: core.ConsCrash},
+			// order-dependent counters that reach the output
+			"qlen":   {Truth: core.OutputDiffers, Portend: core.OutputDiffers},
+			"ratio":  {Truth: core.OutputDiffers, Portend: core.OutputDiffers},
+			"chunks": {Truth: core.OutputDiffers, Portend: core.OutputDiffers},
+		},
+		Paper: PaperRow{Distinct: 31, Instances: 97, SpecViol: 3, OutDiff: 3, SingleOrd: 25, CloudNineSecs: 15.30, PortendAvgSecs: 360.72},
+	}
+}

@@ -1,0 +1,39 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ScaleSource generates the parametric program used for the Fig 9
+// scalability study: classification time as a function of the number of
+// preemption points in the schedule and the number of branches that
+// depend on symbolic input.
+//
+// The program contains one benign data race (a redundant write, so the
+// classifier runs the full multi-path multi-schedule analysis), a loop of
+// `preemptions` yield points that lengthens the recorded schedule, and
+// `branches` input-dependent branches that the symbolic exploration must
+// reason about.
+func ScaleSource(preemptions, branches int) string {
+	var b strings.Builder
+	b.WriteString(`
+// scale: parametric workload for the Fig 9 sweep.
+var g = 0
+var acc = 0
+fn peer() {
+	g = 5
+}
+fn main() {
+	let x = input()
+	let t = spawn peer()
+	yield()
+	g = 5
+`)
+	fmt.Fprintf(&b, "\tfor i = 0, %d { yield() }\n", preemptions)
+	b.WriteString("\tjoin(t)\n")
+	fmt.Fprintf(&b, "\tfor i = 0, %d {\n", branches)
+	b.WriteString("\t\tif x > i { acc = acc + 1 }\n\t}\n")
+	b.WriteString("\tprint(\"acc=\", acc)\n}\n")
+	return b.String()
+}

@@ -1,0 +1,139 @@
+package workloads
+
+import "repro/internal/core"
+
+// SQLite reproduces the single harmful race of the paper's SQLite run: a
+// racy check of an initialization flag whose alternate ordering sends a
+// worker into a condition wait for a signal that is never sent, while the
+// main thread blocks in join — a deadlock (Table 2: SQLite, 1 deadlock).
+func SQLite() *Workload {
+	return &Workload{
+		Name: "sqlite", Language: "C", PaperLOC: 113326, Threads: 2,
+		Source: `
+// sqlite-sim: the library is "initialized" by the opening thread; a
+// connection worker checks the flag without synchronization. If it reads
+// the stale value it waits for an init-completed signal — but the opener
+// believes initialization is already visible and never signals.
+var dbInit = 0
+var schemaReady = 0
+var queries = 0
+mutex dbMu
+cond initDone
+fn connWorker() {
+	let seen = dbInit
+	if seen == 0 {
+		lock(dbMu)
+		while schemaReady == 0 { wait(initDone, dbMu) }
+		unlock(dbMu)
+	}
+	queries = queries + 1
+	print("conn: ran query")
+}
+fn auxWorker() {
+	let local = 0
+	for i = 0, 3 { local = local + i }
+	print("aux: housekeeping ", local)
+}
+fn main() {
+	let c = spawn connWorker()
+	dbInit = 1
+	let a = spawn auxWorker()
+	join(c)
+	join(a)
+	print("sqlite: shutdown")
+}`,
+		Truth: map[string]Expected{
+			"dbInit": {
+				Truth: core.SpecViolated, Portend: core.SpecViolated,
+				Consequence: core.ConsDeadlock,
+			},
+		},
+		Paper: PaperRow{Distinct: 1, Instances: 1, SpecViol: 1, CloudNineSecs: 3.10, PortendAvgSecs: 4.20},
+	}
+}
+
+// Bbuf reproduces the shared-buffer workload: producers and consumers
+// update buffer bookkeeping without synchronization; all six counters
+// reach the (debug-gated) output, so every race is "output differs" —
+// but only multi-path analysis reveals it, because the recorded input
+// does not print the counters (Fig 7: bbuf needs multi-path analysis for
+// all of its races).
+func Bbuf() *Workload {
+	return &Workload{
+		Name: "bbuf", Language: "C", PaperLOC: 261, Threads: 8,
+		Source: `
+// bbuf-sim: bounded buffer bookkeeping with a configurable number of
+// producers and consumers (4+4 here, as in the paper's 8-thread setup).
+var head = 0
+var tail = 0
+var inCount = 0
+var outCount = 0
+var inSum = 0
+var outSum = 0
+fn bumpHead(v) {
+	head = head + v
+}
+fn bumpTail(v) {
+	tail = tail + v
+}
+fn bumpIn(v) {
+	inCount = inCount + v
+}
+fn bumpOut(v) {
+	outCount = outCount + v
+}
+fn sumIn(v) {
+	inSum = inSum + v
+}
+fn sumOut(v) {
+	outSum = outSum + v
+}
+fn producerA() { bumpHead(1); sumIn(10) }
+fn producerB() { bumpHead(1); sumIn(20) }
+fn producerC() { bumpIn(1); sumOut(5) }
+fn producerD() { bumpIn(1); sumOut(6) }
+fn consumerA() { bumpTail(1) }
+fn consumerB() { bumpTail(1) }
+fn consumerC() { bumpOut(1) }
+fn consumerD() { bumpOut(1) }
+fn main() {
+	let verbose = input()
+	let p1 = spawn producerA()
+	let p2 = spawn producerB()
+	let p3 = spawn producerC()
+	let p4 = spawn producerD()
+	let c1 = spawn consumerA()
+	let c2 = spawn consumerB()
+	let c3 = spawn consumerC()
+	let c4 = spawn consumerD()
+	join(p1)
+	join(p2)
+	join(p3)
+	join(p4)
+	join(c1)
+	join(c2)
+	join(c3)
+	join(c4)
+	if verbose > 0 {
+		print("head=", head)
+		print("tail=", tail)
+		print("in=", inCount)
+		print("out=", outCount)
+		print("isum=", inSum)
+		print("osum=", outSum)
+	} else {
+		print("bbuf ok")
+	}
+}`,
+		Inputs: []int64{0},
+		Truth: map[string]Expected{
+			"head":     {Truth: core.OutputDiffers, Portend: core.OutputDiffers},
+			"tail":     {Truth: core.OutputDiffers, Portend: core.OutputDiffers},
+			"inCount":  {Truth: core.OutputDiffers, Portend: core.OutputDiffers},
+			"outCount": {Truth: core.OutputDiffers, Portend: core.OutputDiffers},
+			"inSum":    {Truth: core.OutputDiffers, Portend: core.OutputDiffers},
+			"outSum":   {Truth: core.OutputDiffers, Portend: core.OutputDiffers},
+		},
+		Paper: PaperRow{Distinct: 6, Instances: 6, OutDiff: 6, CloudNineSecs: 1.81, PortendAvgSecs: 4.47},
+	}
+}

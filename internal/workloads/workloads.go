@@ -1,0 +1,138 @@
+// Package workloads contains the PIL reproductions of the paper's
+// evaluation targets (Table 1): SQLite, ocean, fmm, memcached, pbzip2,
+// ctrace, bbuf, and the four micro-benchmarks (AVV, DCL, DBM, RW), plus
+// the Fig 4 example and a parametric program for the Fig 9 scalability
+// sweep.
+//
+// Each workload mirrors the *racy skeleton* of its real counterpart: the
+// same kinds of races in the same proportions as Table 3 — ad-hoc
+// synchronization flags and the data they guard (singleOrd), stats
+// counters whose values reach the output (outDiff), redundant or
+// benign-value writes (k-witness), and the harmful races of Table 2
+// (deadlock, crashes, the fmm semantic violation, the memcached what-if
+// crash).
+//
+// Ground truth is recorded per racy global. Any deliberate deviations
+// from the paper's exact row values are listed in EXPERIMENTS.md.
+package workloads
+
+import (
+	"strings"
+
+	"repro/internal/bytecode"
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+// Expected is the ground truth for one distinct race.
+type Expected struct {
+	// Truth is the manually established class (the paper's "manual
+	// inspection as ground truth", §5.4).
+	Truth core.Class
+	// Portend is the class Portend is expected to report; it differs
+	// from Truth only for the one known misclassification (the ocean
+	// race whose output difference hides behind an input combination the
+	// solver cannot produce, §5.4).
+	Portend core.Class
+	// Consequence refines specViol rows (Table 2).
+	Consequence core.Consequence
+	// StatesDiffer is the expected Record/Replay-Analyzer criterion
+	// (Table 3 "states same/differ").
+	StatesDiffer bool
+}
+
+// PaperRow is a Table 3 row as published, for side-by-side reporting.
+type PaperRow struct {
+	Distinct, Instances           int
+	SpecViol, OutDiff             int
+	KWSame, KWDiff                int
+	SingleOrd                     int
+	CloudNineSecs, PortendAvgSecs float64 // Table 4 reference values
+}
+
+// Workload is one evaluation target.
+type Workload struct {
+	Name     string
+	Language string // as reported in Table 1
+	PaperLOC int    // real program's LOC (Table 1)
+	Threads  int    // forked threads (Table 1)
+
+	Source string
+	Args   []int64
+	Inputs []int64
+
+	// Truth maps racy global name -> expectation. Every distinct race in
+	// the workload is on a distinct global, so names identify races.
+	Truth map[string]Expected
+
+	// Predicates builds the semantic predicates for the Table 2 run
+	// (only fmm uses this).
+	Predicates func(p *bytecode.Program) []core.Predicate
+
+	// WhatIfLines are lock/unlock source lines removed for the what-if
+	// analysis (only memcached uses this).
+	WhatIfLines []int
+
+	Paper PaperRow
+}
+
+// Compile compiles the workload.
+func (w *Workload) Compile() *bytecode.Program {
+	return bytecode.MustCompile(w.Source, w.Name, bytecode.Options{})
+}
+
+// LOC returns the PIL source line count.
+func (w *Workload) LOC() int { return bytecode.CountLOC(w.Source) }
+
+// ExpectedFor returns the ground truth for a race on the given location,
+// resolving the global name through the program.
+func (w *Workload) ExpectedFor(p *bytecode.Program, loc vm.Loc) (Expected, string, bool) {
+	if loc.Space != vm.SpaceGlobal {
+		return Expected{}, "", false
+	}
+	name := p.Globals[loc.Obj].Name
+	e, ok := w.Truth[name]
+	return e, name, ok
+}
+
+// All returns every workload in evaluation order: the 7 applications of
+// Table 2/3 followed by the micro-benchmarks.
+func All() []*Workload {
+	return []*Workload{
+		SQLite(), Ocean(), Fmm(), Memcached(), Pbzip2(), Ctrace(), Bbuf(),
+		AVV(), DCL(), DBM(), RW(),
+	}
+}
+
+// Applications returns only the 7 real-application workloads.
+func Applications() []*Workload {
+	return All()[:7]
+}
+
+// Micro returns only the micro-benchmarks.
+func Micro() []*Workload {
+	return All()[7:]
+}
+
+// ByName finds a workload.
+func ByName(name string) *Workload {
+	for _, w := range All() {
+		if w.Name == name {
+			return w
+		}
+	}
+	return nil
+}
+
+// SyncLines returns the 1-based source lines containing the needle; used
+// to locate lock/unlock lines for the what-if analysis without hardcoding
+// line numbers.
+func SyncLines(source, needle string) []int {
+	var out []int
+	for i, line := range strings.Split(source, "\n") {
+		if strings.Contains(line, needle) {
+			out = append(out, i+1)
+		}
+	}
+	return out
+}

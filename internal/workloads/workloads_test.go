@@ -1,0 +1,249 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+// runWorkload executes detection + classification with the evaluation
+// defaults (Mp=5, Ma=2, 2 symbolic inputs).
+func runWorkload(t *testing.T, w *Workload) (*core.Result, map[string]*core.Verdict) {
+	t.Helper()
+	p := w.Compile()
+	res := core.Run(p, w.Args, w.Inputs, core.DefaultOptions())
+	for _, err := range res.Errors {
+		t.Fatalf("%s: classification error: %v", w.Name, err)
+	}
+	byName := map[string]*core.Verdict{}
+	for _, v := range res.Verdicts {
+		if v.Race.Loc.Space != vm.SpaceGlobal {
+			t.Fatalf("%s: unexpected heap race %s", w.Name, v.Race.ID())
+		}
+		name := p.Globals[v.Race.Key.Obj].Name
+		if _, dup := byName[name]; dup {
+			t.Fatalf("%s: two distinct races on global %q (design rule: one per global)", w.Name, name)
+		}
+		byName[name] = v
+	}
+	return res, byName
+}
+
+// checkTruth asserts that Portend's verdicts match the per-race ground
+// truth table of the workload.
+func checkTruth(t *testing.T, w *Workload, byName map[string]*core.Verdict) {
+	t.Helper()
+	for name, exp := range w.Truth {
+		v, ok := byName[name]
+		if !ok {
+			t.Errorf("%s: expected race on %q was not detected", w.Name, name)
+			continue
+		}
+		if v.Class != exp.Portend {
+			t.Errorf("%s: race on %q classified %s, want %s (%s)",
+				w.Name, name, v.Class, exp.Portend, v)
+		}
+		if exp.Portend == core.SpecViolated && exp.Consequence != core.ConsNone &&
+			v.Consequence != exp.Consequence {
+			t.Errorf("%s: race on %q consequence %s, want %s (%s)",
+				w.Name, name, v.Consequence, exp.Consequence, v.Detail)
+		}
+	}
+	for name := range byName {
+		if _, ok := w.Truth[name]; !ok {
+			t.Errorf("%s: unexpected race on %q (%s)", w.Name, name, byName[name])
+		}
+	}
+}
+
+func testWorkload(t *testing.T, w *Workload) {
+	_, byName := runWorkload(t, w)
+	if len(byName) != len(w.Truth) {
+		t.Errorf("%s: %d distinct races, want %d", w.Name, len(byName), len(w.Truth))
+	}
+	checkTruth(t, w, byName)
+}
+
+func TestSQLiteWorkload(t *testing.T)    { testWorkload(t, SQLite()) }
+func TestOceanWorkload(t *testing.T)     { testWorkload(t, Ocean()) }
+func TestFmmWorkload(t *testing.T)       { testWorkload(t, Fmm()) }
+func TestMemcachedWorkload(t *testing.T) { testWorkload(t, Memcached()) }
+func TestPbzip2Workload(t *testing.T)    { testWorkload(t, Pbzip2()) }
+func TestCtraceWorkload(t *testing.T)    { testWorkload(t, Ctrace()) }
+func TestBbufWorkload(t *testing.T)      { testWorkload(t, Bbuf()) }
+func TestAVVWorkload(t *testing.T)       { testWorkload(t, AVV()) }
+func TestDCLWorkload(t *testing.T)       { testWorkload(t, DCL()) }
+func TestDBMWorkload(t *testing.T)       { testWorkload(t, DBM()) }
+func TestRWWorkload(t *testing.T)        { testWorkload(t, RW()) }
+
+func TestFmmSemanticPredicate(t *testing.T) {
+	w := Fmm()
+	p := w.Compile()
+	opts := core.DefaultOptions()
+	opts.Predicates = w.Predicates(p)
+	res := core.Run(p, w.Args, w.Inputs, opts)
+	for _, err := range res.Errors {
+		t.Fatalf("error: %v", err)
+	}
+	found := false
+	for _, v := range res.Verdicts {
+		name := p.Globals[v.Race.Key.Obj].Name
+		if name == "phase" {
+			if v.Class != core.SpecViolated || v.Consequence != core.ConsSemantic {
+				t.Fatalf("phase race with predicate: got %s (%s), want specViol/semantic", v.Class, v.Detail)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("phase race not detected")
+	}
+}
+
+func TestMemcachedWhatIf(t *testing.T) {
+	w := Memcached()
+	res, err := core.WhatIf(w.Source, w.Name, w.WhatIfLines, w.Args, w.Inputs, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NewRaces) == 0 {
+		t.Fatal("removing the slotMu critical section must induce new races")
+	}
+	foundCrash := false
+	for _, v := range res.NewRaces {
+		if v.Class == core.SpecViolated && v.Consequence == core.ConsCrash {
+			foundCrash = true
+		}
+	}
+	if !foundCrash {
+		for _, v := range res.NewRaces {
+			t.Logf("new race: %s -> %s (%s)", v.Race.ID(), v.Class, v.Detail)
+		}
+		t.Fatal("the what-if race must crash under some interleaving (Table 2: memcached)")
+	}
+}
+
+func TestWorkloadInventory(t *testing.T) {
+	ws := All()
+	if len(ws) != 11 {
+		t.Fatalf("want 11 workloads, got %d", len(ws))
+	}
+	names := map[string]bool{}
+	for _, w := range ws {
+		if names[w.Name] {
+			t.Fatalf("duplicate workload %s", w.Name)
+		}
+		names[w.Name] = true
+		if w.LOC() == 0 {
+			t.Fatalf("%s: empty source", w.Name)
+		}
+		if w.Threads <= 0 || w.PaperLOC <= 0 {
+			t.Fatalf("%s: missing Table 1 metadata", w.Name)
+		}
+		if w.Paper.Distinct == 0 {
+			t.Fatalf("%s: missing paper row", w.Name)
+		}
+		// Programs must compile.
+		w.Compile()
+	}
+	if ByName("pbzip2") == nil || ByName("nope") != nil {
+		t.Fatal("ByName lookup broken")
+	}
+	if len(Applications()) != 7 || len(Micro()) != 4 {
+		t.Fatal("grouping broken")
+	}
+}
+
+func TestWorkloadsDeterministic(t *testing.T) {
+	w := Bbuf()
+	_, first := runWorkload(t, w)
+	_, second := runWorkload(t, w)
+	if len(first) != len(second) {
+		t.Fatal("nondeterministic race counts")
+	}
+	for name, v := range first {
+		if second[name] == nil || second[name].Class != v.Class {
+			t.Fatalf("nondeterministic classification for %s", name)
+		}
+	}
+}
+
+func TestScaleSourceCompilesAndScales(t *testing.T) {
+	small := ScaleSource(10, 3)
+	big := ScaleSource(200, 15)
+	ps := bytecode.MustCompile(small, "scale-s", bytecode.Options{})
+	pb := bytecode.MustCompile(big, "scale-b", bytecode.Options{})
+	stS := vm.NewState(ps, nil, []int64{3})
+	vm.NewMachine(stS, vm.NewRoundRobin()).Run(-1)
+	stB := vm.NewState(pb, nil, []int64{3})
+	vm.NewMachine(stB, vm.NewRoundRobin()).Run(-1)
+	if stB.Steps <= stS.Steps {
+		t.Fatal("bigger parameters should execute more instructions")
+	}
+	// The scale program has exactly one distinct race (the redundant
+	// write on g).
+	res := core.Run(ps, nil, []int64{3}, core.DefaultOptions())
+	if len(res.Verdicts) != 1 {
+		t.Fatalf("scale: %d races, want 1", len(res.Verdicts))
+	}
+	if res.Verdicts[0].Class != core.KWitnessHarmless {
+		t.Fatalf("scale race should be k-witness, got %s", res.Verdicts[0].Class)
+	}
+}
+
+func TestSyncLines(t *testing.T) {
+	src := "a\nlock(m)\nb\nunlock(m)\nlock(m)\n"
+	if got := SyncLines(src, "lock(m)"); len(got) != 3 || got[0] != 2 || got[1] != 4 || got[2] != 5 {
+		t.Fatalf("got %v", got)
+	}
+	if SyncLines(src, "nothing") != nil {
+		t.Fatal("no matches should give nil")
+	}
+}
+
+func TestMemcachedWhatIfLinesPointAtLocks(t *testing.T) {
+	w := Memcached()
+	if len(w.WhatIfLines) != 4 {
+		t.Fatalf("want 4 designated sync lines, got %v", w.WhatIfLines)
+	}
+	lines := strings.Split(w.Source, "\n")
+	for _, ln := range w.WhatIfLines {
+		if !strings.Contains(lines[ln-1], "lock(slotMu)") {
+			t.Fatalf("line %d is %q, not a slotMu lock", ln, lines[ln-1])
+		}
+	}
+}
+
+func TestPaperRowTotalsConsistent(t *testing.T) {
+	for _, w := range All() {
+		p := w.Paper
+		if p.SpecViol+p.OutDiff+p.KWSame+p.KWDiff+p.SingleOrd != p.Distinct {
+			t.Fatalf("%s: paper row classes do not sum to distinct", w.Name)
+		}
+		if len(w.Truth) != p.Distinct {
+			t.Fatalf("%s: ground truth has %d races, paper row %d", w.Name, len(w.Truth), p.Distinct)
+		}
+	}
+}
+
+func TestTruthConsistency(t *testing.T) {
+	// The only race where Portend's expected verdict differs from the
+	// truth is the ocean misclassification.
+	mismatches := 0
+	for _, w := range All() {
+		for name, e := range w.Truth {
+			if e.Truth != e.Portend {
+				mismatches++
+				if w.Name != "ocean" || name != "residual" {
+					t.Fatalf("unexpected designed misclassification: %s/%s", w.Name, name)
+				}
+			}
+		}
+	}
+	if mismatches != 1 {
+		t.Fatalf("want exactly 1 designed misclassification, got %d", mismatches)
+	}
+}

@@ -1,6 +1,6 @@
 // Package repro's top-level benchmarks regenerate each table and figure
-// of the paper's evaluation (see DESIGN.md's per-experiment index) and
-// measure the design-choice ablations. Run them with:
+// of the paper's evaluation and measure the design-choice ablations,
+// including sequential vs parallel classification. Run them with:
 //
 //	go test -bench=. -benchmem
 //
@@ -11,11 +11,13 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/race"
+	"repro/internal/sched"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
@@ -160,8 +162,8 @@ func BenchmarkFig10_AccuracyVsK(b *testing.B) {
 }
 
 // BenchmarkAblation_StateVsOutput compares symbolic output comparison
-// (Portend's criterion) against concrete comparison (the ablated mode) —
-// DESIGN.md decision 1.
+// (Portend's criterion, §3.3.1) against concrete comparison (the
+// ablated mode; see docs/classification.md).
 func BenchmarkAblation_StateVsOutput(b *testing.B) {
 	w := workloads.Bbuf()
 	p := w.Compile()
@@ -181,43 +183,56 @@ func BenchmarkAblation_StateVsOutput(b *testing.B) {
 }
 
 // BenchmarkAblation_ParallelClassify measures the "embarrassingly
-// parallel" claim (§3.4): classifying a program's races serially vs
-// fanned out across goroutines — DESIGN.md decision 5.
+// parallel" claim (§3.4) in isolation: detection is hoisted out so
+// the arms time only the per-race classification, fanned across the
+// engine's worker pool via sched.Map exactly as core.Run does.
 func BenchmarkAblation_ParallelClassify(b *testing.B) {
 	w := workloads.Pbzip2()
 	p := w.Compile()
 	det := race.Detect(p, w.Args, w.Inputs, 3_000_000)
 	opts := core.DefaultOptions()
-	b.Run("serial", func(b *testing.B) {
+	opts.Parallel = 1
+	classify := func(b *testing.B, workers int) {
 		for i := 0; i < b.N; i++ {
-			cl := core.New(p, opts)
-			for _, rep := range det.Reports {
-				if _, err := cl.Classify(rep, det.Trace); err != nil {
-					b.Fatal(err)
+			sched.Map(workers, len(det.Reports), func(j int) {
+				cl := core.New(p, opts)
+				if _, err := cl.Classify(det.Reports[j], det.Trace); err != nil {
+					b.Error(err) // Error, not Fatal: fn runs on pool goroutines
 				}
-			}
+			})
 		}
-	})
-	b.Run("parallel", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			done := make(chan error, len(det.Reports))
-			for _, rep := range det.Reports {
-				rep := rep
-				go func() {
-					// Each goroutine gets its own classifier (and thus
-					// solver); races classify independently.
-					cl := core.New(p, opts)
-					_, err := cl.Classify(rep, det.Trace)
-					done <- err
-				}()
-			}
-			for range det.Reports {
-				if err := <-done; err != nil {
-					b.Fatal(err)
+	}
+	b.Run("serial", func(b *testing.B) { classify(b, 1) })
+	b.Run("parallel", func(b *testing.B) { classify(b, sched.Workers(0)) })
+}
+
+// BenchmarkParallel_BigWorkloads compares the sequential engine against
+// the worker pool end-to-end (detection + classification) on the
+// biggest workloads — the wall-clock evidence behind the parallel
+// engine. Detection is single-threaded in both modes, so the speedup is
+// bounded by the classification share of each run; on a single-core
+// host the wide pool instead measures the pool's overhead.
+func BenchmarkParallel_BigWorkloads(b *testing.B) {
+	widths := []int{1, sched.Workers(0)}
+	if widths[1] == 1 {
+		widths[1] = 4 // single-core host: still exercise a wide pool
+	}
+	for _, name := range []string{"pbzip2", "memcached", "ocean", "fmm"} {
+		w := workloads.ByName(name)
+		if w == nil {
+			b.Fatalf("unknown workload %q", name)
+		}
+		p := w.Compile()
+		for _, par := range widths {
+			opts := core.DefaultOptions()
+			opts.Parallel = par
+			b.Run(fmt.Sprintf("%s/parallel=%d", name, par), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					core.Run(p, w.Args, w.Inputs, opts)
 				}
-			}
+			})
 		}
-	})
+	}
 }
 
 // BenchmarkVM_Interpretation measures raw interpreter throughput (the

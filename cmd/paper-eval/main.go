@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/eval"
@@ -21,9 +22,11 @@ import (
 func main() {
 	table := flag.Int("table", 0, "render only this table (1-5)")
 	fig := flag.Int("fig", 0, "render only this figure (7, 9, 10)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "classification worker-pool width per run (1 = sequential; results are identical for every width, only wall-clock changes)")
 	flag.Parse()
 
 	opts := core.DefaultOptions()
+	opts.Parallel = *parallel
 
 	needSuite := *fig == 0 || *table != 0
 	var s *eval.Suite

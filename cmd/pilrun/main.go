@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -45,6 +46,10 @@ func main() {
 	budget := flag.Int64("budget", 50_000_000, "instruction budget")
 	disasm := flag.Bool("disasm", false, "print disassembly and exit")
 	workload := flag.String("workload", "", "run a built-in workload instead of a file")
+	// -parallel is accepted for interface symmetry with portend and
+	// paper-eval, but a single concrete execution is inherently
+	// sequential, so the value is not used.
+	flag.Int("parallel", runtime.GOMAXPROCS(0), "accepted for symmetry with portend; a single concrete execution is inherently sequential")
 	flag.Parse()
 
 	var prog *bytecode.Program

@@ -6,15 +6,19 @@
 //
 // Usage:
 //
-//	portend [-args 1,2] [-inputs 3,4] [-mp 5] [-ma 2] [-sym 2] prog.pil
+//	portend [-args 1,2] [-inputs 3,4] [-mp 5] [-ma 2] [-sym 2] [-parallel N] prog.pil
 //	portend -workload pbzip2
 //	portend -workload memcached -whatif
+//
+// Classification runs on a worker pool (-parallel, default GOMAXPROCS);
+// the verdicts are byte-identical for every pool width.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -47,6 +51,7 @@ func main() {
 	mp := flag.Int("mp", 5, "max primary paths (Mp)")
 	ma := flag.Int("ma", 2, "alternate schedules per primary (Ma)")
 	sym := flag.Int("sym", 2, "number of symbolic inputs")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "classification worker-pool width (1 = sequential; verdicts are identical for every width)")
 	workload := flag.String("workload", "", "analyze a built-in workload")
 	whatIf := flag.Bool("whatif", false, "run the workload's what-if analysis (remove its designated locks)")
 	verbose := flag.Bool("v", false, "print full debugging-aid reports")
@@ -54,6 +59,7 @@ func main() {
 
 	opts := core.DefaultOptions()
 	opts.Mp, opts.Ma, opts.SymbolicInputs = *mp, *ma, *sym
+	opts.Parallel = *parallel
 
 	args, err := parseInts(*argsFlag)
 	if err != nil {

@@ -1,0 +1,65 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// renderResult renders everything user-visible about a run — verdict
+// order, one-line summaries, full §3.6 debugging-aid reports, and
+// classification errors — as one string for byte-level comparison.
+func renderResult(p *bytecode.Program, res *core.Result) string {
+	var b strings.Builder
+	for _, v := range res.Verdicts {
+		b.WriteString(v.Race.ID())
+		b.WriteString("  ")
+		b.WriteString(v.String())
+		b.WriteString("\n")
+		b.WriteString(v.Report(p))
+		b.WriteString("\n")
+	}
+	for _, err := range res.Errors {
+		b.WriteString("error: ")
+		b.WriteString(err.Error())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestParallelDeterminism asserts the acceptance criterion of the
+// parallel engine: for every built-in workload, a fully sequential run
+// (-parallel 1) and a fanned-out run (-parallel 8) produce byte-
+// identical verdicts and reports. Run under -race this also exercises
+// the engine's synchronization: shared solver, shared fork budget, and
+// concurrent cloning of the pre-race checkpoints.
+func TestParallelDeterminism(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			p := w.Compile()
+
+			optsFor := func(parallel int) core.Options {
+				opts := core.DefaultOptions()
+				opts.Parallel = parallel
+				if w.Predicates != nil {
+					opts.Predicates = w.Predicates(p)
+				}
+				return opts
+			}
+
+			seq := renderResult(p, core.Run(p, w.Args, w.Inputs, optsFor(1)))
+			par := renderResult(p, core.Run(p, w.Args, w.Inputs, optsFor(8)))
+			if seq != par {
+				t.Errorf("verdicts differ between -parallel 1 and -parallel 8\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+			}
+			if seq == "" {
+				t.Logf("workload %s produced no verdicts", w.Name)
+			}
+		})
+	}
+}

@@ -21,6 +21,13 @@
 // multi-schedule analysis runs Ma randomized alternates per primary; and
 // symbolic output comparison checks each alternate's concrete outputs
 // against the primary's symbolic output constraints with the solver.
+//
+// The per-race analysis is embarrassingly parallel, and the engine
+// exploits that at two levels (Options.Parallel): Run classifies
+// distinct races on a worker pool, and within one race the
+// primary×alternate worklist of the multi-path phase fans out across
+// the same pool width. Results always merge in the sequential engine's
+// order, so verdicts are byte-identical at every pool width.
 package core
 
 import (
@@ -150,10 +157,21 @@ type Options struct {
 
 	// Seed seeds the randomized alternate schedules.
 	Seed uint64
+
+	// Parallel is the worker-pool width of the classification engine:
+	// races classify concurrently in Run, and within one race the
+	// primary×alternate worklist of the multi-path multi-schedule phase
+	// fans out across workers. Verdict order and content are byte-
+	// identical for every width (results merge in deterministic worklist
+	// order); only Stats counters that depend on how much speculative
+	// work ran (e.g. SolverQueries) may differ. Parallel < 1 means
+	// GOMAXPROCS; 1 runs fully sequentially.
+	Parallel int
 }
 
 // DefaultOptions returns the configuration used throughout the
-// evaluation: Mp=5, Ma=2, 2 symbolic inputs (§5).
+// evaluation: Mp=5, Ma=2, 2 symbolic inputs (§5), with the analysis
+// fanned out across GOMAXPROCS workers (Parallel = 0).
 func DefaultOptions() Options {
 	return Options{
 		Mp: 5, Ma: 2,

@@ -49,7 +49,7 @@ func New(prog *bytecode.Program, opts Options) *Classifier {
 // symbolic output comparison (Algorithm 2).
 func (c *Classifier) Classify(rep *race.Report, tr *trace.Trace) (*Verdict, error) {
 	start := time.Now()
-	q0 := c.sol.Queries
+	q0 := c.sol.Queries()
 	v := &Verdict{Race: rep, K: 1}
 	v.Stats.Preemptions = len(tr.Decisions)
 
@@ -94,7 +94,7 @@ func (c *Classifier) Classify(rep *race.Report, tr *trace.Trace) (*Verdict, erro
 }
 
 func (c *Classifier) finishStats(v *Verdict, mp *mpResult, q0 int, start time.Time) {
-	v.Stats.SolverQueries = c.sol.Queries - q0
+	v.Stats.SolverQueries = c.sol.Queries() - q0
 	if mp != nil {
 		v.Stats.Branches = mp.branches
 		v.Stats.PrimaryPaths = mp.primaries

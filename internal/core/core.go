@@ -7,6 +7,7 @@ import (
 	"repro/internal/bytecode"
 	"repro/internal/lang"
 	"repro/internal/race"
+	"repro/internal/sched"
 	"repro/internal/vm"
 )
 
@@ -25,6 +26,13 @@ type Result struct {
 // Run detects races in the program under the given concrete arguments and
 // input log, then classifies each distinct race. This is the entry point
 // used by cmd/portend, the examples and the evaluation harness.
+//
+// Classification fans out across opts.Parallel workers (GOMAXPROCS when
+// unset): each race is an independent analysis, so each worker task gets
+// its own Classifier (and thus its own solver) and writes its verdict
+// into a slot indexed by the race's position in the detection report
+// list. The merge below walks the slots in that order, which makes the
+// resulting Verdicts and Errors identical to a sequential run.
 func Run(p *bytecode.Program, args, inputs []int64, opts Options) *Result {
 	budget := opts.RunBudget
 	if budget <= 0 {
@@ -32,14 +40,36 @@ func Run(p *bytecode.Program, args, inputs []int64, opts Options) *Result {
 	}
 	det := race.Detect(p, args, inputs, budget)
 	res := &Result{Prog: p, Detection: det}
-	cl := New(p, opts)
-	for _, rep := range det.Reports {
-		v, err := cl.Classify(rep, det.Trace)
-		if err != nil {
-			res.Errors = append(res.Errors, fmt.Errorf("%s: %w", rep.ID(), err))
+
+	// Split the pool between the two fan-out levels: when the races
+	// alone saturate the pool, each race classifies with a sequential
+	// inner engine; with few races the leftover width goes to each
+	// race's primary×alternate worklist. This bounds the total
+	// goroutine count (and the VM state clones they hold) by roughly
+	// the pool width instead of its square. The split never changes a
+	// verdict — pool width only affects wall-clock.
+	workers := sched.Workers(opts.Parallel)
+	inner := opts
+	if n := len(det.Reports); n > 0 {
+		inner.Parallel = (workers + n - 1) / n
+	}
+
+	type outcome struct {
+		v   *Verdict
+		err error
+	}
+	outs := make([]outcome, len(det.Reports))
+	sched.Map(workers, len(det.Reports), func(i int) {
+		cl := New(p, inner)
+		v, err := cl.Classify(det.Reports[i], det.Trace)
+		outs[i] = outcome{v, err}
+	})
+	for i, o := range outs {
+		if o.err != nil {
+			res.Errors = append(res.Errors, fmt.Errorf("%s: %w", det.Reports[i].ID(), o.err))
 			continue
 		}
-		res.Verdicts = append(res.Verdicts, v)
+		res.Verdicts = append(res.Verdicts, o.v)
 	}
 	return res
 }

@@ -4,6 +4,7 @@ import (
 	"repro/internal/bytecode"
 	"repro/internal/explore"
 	"repro/internal/race"
+	"repro/internal/sched"
 	"repro/internal/trace"
 	"repro/internal/vm"
 )
@@ -169,21 +170,107 @@ func currentLine(st *vm.State) int32 {
 	return code[fr.PC].Line
 }
 
+// altEval is the outcome of one alternate execution, reduced to exactly
+// what the verdict merge needs. Evaluating an alternate is free of
+// side effects on the classifier (the solver only accumulates atomic
+// statistics), which is what lets the worklist fan out across workers.
+type altEval struct {
+	outcome enforceOutcome
+	errText string // enfError: the runtime error message
+
+	// Spec violation observed on the completed alternate (enfOK).
+	bad    bool
+	cons   Consequence
+	detail string
+
+	// Output divergence against the primary (enfOK, nil when matching).
+	diff *OutputDivergence
+}
+
+// evalAlternate runs alternate j of primary pi to completion and
+// compares its outputs against the primary's (§3.3.1, §3.4). It is
+// safe to call concurrently for distinct (pi, j) pairs: it only reads
+// the shared primaryPath and clones its pre-race checkpoint.
+func (c *Classifier) evalAlternate(p *primaryPath, pi, j int, space vm.Space, obj int64) altEval {
+	var ctl vm.Controller = vm.NewRoundRobin()
+	if c.Opts.MultiSchedule {
+		ctl = vm.NewRandom(c.Opts.Seed + uint64(pi)*131 + uint64(j)*17 + 1)
+	}
+	pre := p.pre.Clone()
+	// Alternate executions are fully concrete (§3.3.1): bind every
+	// symbol to the path's witness values.
+	pre.Concretize(p.st.Hints)
+	enf := c.enforceAlternate(pre, p.firstTID, p.secondTID, space, obj, ctl)
+	ev := altEval{outcome: enf.outcome}
+	switch enf.outcome {
+	case enfError:
+		ev.errText = enf.err.Error()
+	case enfOK:
+		if cons, det, bad := specViolationOf(enf.final, enf.st); bad {
+			ev.bad, ev.cons, ev.detail = true, cons, det
+			break
+		}
+		if c.Opts.SymbolicOutput {
+			ev.diff = c.symbolicOutputDiff(p.st, enf.st.Outputs)
+		} else {
+			ev.diff = concreteOutputDiff(concretizeOutputs(p.st), enf.st.Outputs)
+		}
+	}
+	return ev
+}
+
 // multiPath is Algorithm 2 combined with multi-schedule analysis (§3.4):
 // for each primary path, produce alternates (randomly scheduled when
 // multi-schedule is enabled) and compare their concrete outputs against
 // the primary's symbolic outputs.
+//
+// The primary×alternate worklist is evaluated either on demand in
+// worklist order (sequential mode) or eagerly across the worker pool
+// (parallel mode). Either way the verdict merge below consumes the
+// evaluations in (primary, alternate) order and stops at the first
+// conclusive one, so the resulting verdict — class, evidence, and the
+// witness count — does not depend on the pool width. Parallel mode may
+// evaluate alternates the sequential engine would have skipped after an
+// early conclusive answer; that speculative work only shows up in the
+// solver-query statistics, never in the verdict.
 func (c *Classifier) multiPath(rep *race.Report, tr *trace.Trace) *mpResult {
 	eng := explore.NewEngine(c.sol, c.Opts.MaxForks)
 	prims := c.collectPrimaries(rep, tr, eng)
 
-	out := &mpResult{class: KWitnessHarmless, branches: eng.Branches, primaries: len(prims)}
+	out := &mpResult{class: KWitnessHarmless, branches: eng.Branches(), primaries: len(prims)}
 	if len(prims) == 0 {
 		out.k = 1 // only the single-pre/single-post witness
 		return out
 	}
 
 	space, obj := rep.Key.Space, rep.Key.Obj
+	nAlt := 1
+	if c.Opts.MultiSchedule {
+		nAlt = c.Opts.Ma
+	}
+
+	get := func(pi, j int) altEval { return c.evalAlternate(prims[pi], pi, j, space, obj) }
+	if workers := sched.Workers(c.Opts.Parallel); workers > 1 && len(prims)*nAlt > 1 {
+		// The merge below inspects primary pi before any of its
+		// alternates, and a conclusive primary ends the analysis — so
+		// alternates past the first violating primary can never be
+		// consulted. Checking the (cheap, pure) primary results up
+		// front bounds the eager fan-out to the alternates the
+		// sequential engine could actually reach.
+		reachable := len(prims)
+		for pi, p := range prims {
+			if _, _, bad := specViolationOf(p.result, p.st); bad {
+				reachable = pi
+				break
+			}
+		}
+		evals := make([]altEval, reachable*nAlt)
+		sched.Map(workers, len(evals), func(i int) {
+			evals[i] = c.evalAlternate(prims[i/nAlt], i/nAlt, i%nAlt, space, obj)
+		})
+		get = func(pi, j int) altEval { return evals[pi*nAlt+j] }
+	}
+
 	witnesses := 0
 	for pi, p := range prims {
 		// A primary path itself may expose a violation (e.g. the Fig 4
@@ -194,40 +281,22 @@ func (c *Classifier) multiPath(rep *race.Report, tr *trace.Trace) *mpResult {
 			return out
 		}
 
-		nAlt := 1
-		if c.Opts.MultiSchedule {
-			nAlt = c.Opts.Ma
-		}
 		for j := 0; j < nAlt; j++ {
-			var ctl vm.Controller = vm.NewRoundRobin()
-			if c.Opts.MultiSchedule {
-				ctl = vm.NewRandom(c.Opts.Seed + uint64(pi)*131 + uint64(j)*17 + 1)
-			}
-			pre := p.pre.Clone()
-			// Alternate executions are fully concrete (§3.3.1): bind every
-			// symbol to the path's witness values.
-			pre.Concretize(p.st.Hints)
-			enf := c.enforceAlternate(pre, p.firstTID, p.secondTID, space, obj, ctl)
-			switch enf.outcome {
+			ev := get(pi, j)
+			switch ev.outcome {
 			case enfError:
-				out.class, out.consequence, out.detail = SpecViolated, ConsCrash, "alternate: "+enf.err.Error()
+				out.class, out.consequence, out.detail = SpecViolated, ConsCrash, "alternate: "+ev.errText
 				out.alternates = witnesses
 				return out
 			case enfOK:
-				if cons, det, bad := specViolationOf(enf.final, enf.st); bad {
-					out.class, out.consequence, out.detail = SpecViolated, cons, "alternate: "+det
+				if ev.bad {
+					out.class, out.consequence, out.detail = SpecViolated, ev.cons, "alternate: "+ev.detail
 					out.alternates = witnesses
 					return out
 				}
-				var diff *OutputDivergence
-				if c.Opts.SymbolicOutput {
-					diff = c.symbolicOutputDiff(p.st, enf.st.Outputs)
-				} else {
-					diff = concreteOutputDiff(concretizeOutputs(p.st), enf.st.Outputs)
-				}
-				if diff != nil {
+				if ev.diff != nil {
 					out.class = OutputDiffers
-					out.outDiff = diff
+					out.outDiff = ev.diff
 					out.alternates = witnesses
 					return out
 				}

@@ -15,13 +15,21 @@
 package explore
 
 import (
+	"sync/atomic"
+
 	"repro/internal/bytecode"
 	"repro/internal/expr"
+	"repro/internal/sched"
 	"repro/internal/solver"
 	"repro/internal/vm"
 )
 
 // Engine drives forking executions.
+//
+// An Engine is safe for concurrent RunForking calls: the fork budget is
+// a shared atomic counter, so workers exploring different paths of the
+// same race draw from one pool of forks rather than each getting their
+// own copy of the budget.
 type Engine struct {
 	Solver *solver.Solver
 
@@ -29,11 +37,11 @@ type Engine struct {
 	// engine across all RunForking calls (the paper's knob on the number
 	// of paths explored, §3.3).
 	MaxForks int
-	forks    int
+	forks    *sched.Counter
 
-	// Branches counts symbolic branch decisions encountered; it is the
+	// branches counts symbolic branch decisions encountered; it is the
 	// "# dependent branches" axis of Fig 9.
-	Branches int
+	branches atomic.Int64
 }
 
 // NewEngine returns an engine with the given solver and fork budget.
@@ -41,11 +49,15 @@ func NewEngine(s *solver.Solver, maxForks int) *Engine {
 	if maxForks <= 0 {
 		maxForks = 64
 	}
-	return &Engine{Solver: s, MaxForks: maxForks}
+	return &Engine{Solver: s, MaxForks: maxForks, forks: sched.NewCounter(maxForks)}
 }
 
 // ForksLeft returns the remaining fork budget.
-func (e *Engine) ForksLeft() int { return e.MaxForks - e.forks }
+func (e *Engine) ForksLeft() int { return e.forks.Remaining() }
+
+// Branches returns the number of symbolic branch decisions encountered
+// so far across all RunForking calls.
+func (e *Engine) Branches() int { return int(e.branches.Load()) }
 
 // forkCandidate inspects the instruction the current thread is about to
 // execute and returns the (normalized, 0/1) branch condition if it is a
@@ -110,9 +122,9 @@ func (e *Engine) RunForking(m *vm.Machine, budget int64, onFork func(sib *vm.Sta
 		tid := st.Cur
 		cond, ok := forkCandidate(st, tid, forkInstr)
 		if ok {
-			e.Branches++
+			e.branches.Add(1)
 			taken, err := st.HintEval(cond)
-			if err == nil && e.forks < e.MaxForks && onFork != nil {
+			if err == nil && e.forks.Remaining() > 0 && onFork != nil {
 				neg := expr.LNot(cond)
 				if taken == 0 {
 					neg = cond
@@ -121,8 +133,7 @@ func (e *Engine) RunForking(m *vm.Machine, budget int64, onFork func(sib *vm.Sta
 				q = append(q, st.PathCond...)
 				q = append(q, neg)
 				model, sat := e.Solver.Solve(q, st.Hints)
-				if sat == solver.Sat {
-					e.forks++
+				if sat == solver.Sat && e.forks.TryAcquire() {
 					sib := st.Clone()
 					for name, v := range model {
 						sib.Hints[name] = v

@@ -187,7 +187,7 @@ fn main() {
 	let v = input()
 	if v > 0 { print(1) } else { print(0) }
 }`, []int64{5}, 1, 16)
-	if e.Branches == 0 {
+	if e.Branches() == 0 {
 		t.Fatal("dependent branches should be counted")
 	}
 }
@@ -201,7 +201,7 @@ fn main() {
 	if len(states) != 1 {
 		t.Fatalf("concrete run must not fork, got %d paths", len(states))
 	}
-	if e.Branches != 0 {
+	if e.Branches() != 0 {
 		t.Fatal("no symbolic branches expected")
 	}
 }

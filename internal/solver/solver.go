@@ -24,6 +24,7 @@ package solver
 import (
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/expr"
 )
@@ -65,8 +66,8 @@ type Options struct {
 	DomainRadius int64
 }
 
-// DefaultOptions returns the budget used across the evaluation
-// (sufficient for all workload queries; see EXPERIMENTS.md).
+// DefaultOptions returns the budget used across the evaluation,
+// sufficient to decide every query the workload suite generates.
 func DefaultOptions() Options {
 	return Options{
 		MaxCandidatesPerVar: 48,
@@ -77,14 +78,25 @@ func DefaultOptions() Options {
 
 // Solver answers satisfiability queries. The zero value is not ready;
 // use New.
+//
+// A Solver is safe for concurrent use: queries keep all search state on
+// the stack, and the accumulated statistics are atomic. The parallel
+// classification engine shares one solver among the alternate-schedule
+// workers of a race.
 type Solver struct {
 	opts Options
 
-	// Stats accumulate across queries; read them for Table 4 style
-	// instrumentation.
-	Queries    int
-	NodesTotal int
+	queries    atomic.Int64
+	nodesTotal atomic.Int64
 }
+
+// Queries returns the number of Solve calls answered so far (Table 4
+// style instrumentation).
+func (s *Solver) Queries() int { return int(s.queries.Load()) }
+
+// NodesTotal returns the total number of search-tree nodes visited
+// across all queries.
+func (s *Solver) NodesTotal() int { return int(s.nodesTotal.Load()) }
 
 // New returns a Solver with the given options, falling back to defaults
 // for zero fields.
@@ -401,7 +413,7 @@ func moveToFront(vals []int64, v int64) {
 // models close to the observed execution. On Sat the returned assignment
 // binds every variable occurring in the constraints.
 func (s *Solver) Solve(constraints []expr.Expr, hints expr.Assignment) (expr.Assignment, Result) {
-	s.Queries++
+	s.queries.Add(1)
 	flat, ok := splitConjuncts(constraints)
 	if !ok {
 		return nil, Unsat
@@ -521,7 +533,7 @@ func (s *Solver) Solve(constraints []expr.Expr, hints expr.Assignment) (expr.Ass
 		return false
 	}
 	found := search(0)
-	s.NodesTotal += nodes
+	s.nodesTotal.Add(int64(nodes))
 	if found {
 		// Return a copy so callers may retain it.
 		model := make(expr.Assignment, len(env))

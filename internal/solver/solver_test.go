@@ -243,8 +243,8 @@ func TestStatsAccumulate(t *testing.T) {
 	s := New(Options{})
 	s.Solve([]expr.Expr{expr.Gt(sym("x"), ci(0))}, nil)
 	s.Solve([]expr.Expr{expr.Lt(sym("x"), ci(0))}, nil)
-	if s.Queries != 2 {
-		t.Fatalf("queries = %d, want 2", s.Queries)
+	if s.Queries() != 2 {
+		t.Fatalf("queries = %d, want 2", s.Queries())
 	}
 }
 

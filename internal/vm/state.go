@@ -44,13 +44,6 @@ type Frame struct {
 	Stack  []expr.Expr
 }
 
-func (f *Frame) clone() *Frame {
-	nf := &Frame{Fn: f.Fn, PC: f.PC}
-	nf.Locals = append([]expr.Expr(nil), f.Locals...)
-	nf.Stack = append([]expr.Expr(nil), f.Stack...)
-	return nf
-}
-
 // Thread is one PIL thread.
 type Thread struct {
 	ID     int
@@ -68,15 +61,6 @@ type Thread struct {
 	// "absolute count of instructions executed" the paper's schedule
 	// traces use to identify racing accesses precisely (§3.1).
 	Instrs int64
-}
-
-func (t *Thread) clone() *Thread {
-	nt := *t
-	nt.Frames = make([]*Frame, len(t.Frames))
-	for i, f := range t.Frames {
-		nt.Frames[i] = f.clone()
-	}
-	return &nt
 }
 
 // Top returns the active frame, or nil when the thread has exited.
@@ -283,6 +267,27 @@ func NewState(p *bytecode.Program, args []int64, inputs []int64) *State {
 
 // Clone deep-copies the state. Expressions and the program are immutable
 // and shared; everything mutable is copied.
+//
+// Clone is the hot path of the whole analysis — every checkpoint
+// (Algorithm 1) and every state fork (Algorithm 2) goes through it, and
+// the parallel engine clones the same pre-race checkpoint once per
+// alternate schedule. Two techniques keep it cheap:
+//
+//   - Slab allocation: threads, frames, their expression cells, and heap
+//     blocks are copied into one backing array per kind instead of one
+//     allocation per object. Every sub-slice is cap-trimmed to its exact
+//     region, so a later append (a call pushing a frame, a push growing
+//     an operand stack) reallocates privately instead of growing into a
+//     neighbor's region.
+//   - Copy-on-write sharing: append-only slices whose elements are never
+//     mutated in place (Outputs, PathCond) share the parent's backing
+//     array, again cap-trimmed so appends by either party reallocate.
+//     Concretize, the one operation that rewrites output records,
+//     replaces the slice wholesale instead of mutating shared memory.
+//
+// Clone is safe to call concurrently on one state from several
+// goroutines (it only reads the source), which the parallel alternate-
+// schedule workers rely on.
 func (st *State) Clone() *State {
 	ns := &State{
 		Prog:    st.Prog,
@@ -295,14 +300,41 @@ func (st *State) Clone() *State {
 		Args:    append([]int64(nil), st.Args...),
 		SymArgs: append([]bool(nil), st.SymArgs...),
 	}
+
+	// Globals: one cell slab for all variables.
+	nCells := 0
+	for _, cells := range st.Globals {
+		nCells += len(cells)
+	}
+	gslab := make([]expr.Expr, nCells)
 	ns.Globals = make([][]expr.Expr, len(st.Globals))
+	gi := 0
 	for i, cells := range st.Globals {
-		ns.Globals[i] = append([]expr.Expr(nil), cells...)
+		dst := gslab[gi : gi+len(cells) : gi+len(cells)]
+		copy(dst, cells)
+		ns.Globals[i] = dst
+		gi += len(cells)
 	}
-	ns.Heap = make(map[int64]*HeapBlock, len(st.Heap))
+
+	// Heap: one block slab and one cell slab.
+	nBlocks, nHeapCells := len(st.Heap), 0
+	for _, blk := range st.Heap {
+		nHeapCells += len(blk.Cells)
+	}
+	blkSlab := make([]HeapBlock, nBlocks)
+	hslab := make([]expr.Expr, nHeapCells)
+	ns.Heap = make(map[int64]*HeapBlock, nBlocks)
+	bi, hi := 0, 0
 	for ref, blk := range st.Heap {
-		ns.Heap[ref] = &HeapBlock{Cells: append([]expr.Expr(nil), blk.Cells...), Freed: blk.Freed}
+		nb := &blkSlab[bi]
+		bi++
+		cells := hslab[hi : hi+len(blk.Cells) : hi+len(blk.Cells)]
+		copy(cells, blk.Cells)
+		hi += len(blk.Cells)
+		nb.Cells, nb.Freed = cells, blk.Freed
+		ns.Heap[ref] = nb
 	}
+
 	ns.Mutexes = append([]mutexState(nil), st.Mutexes...)
 	ns.Conds = make([]condState, len(st.Conds))
 	for i := range st.Conds {
@@ -312,12 +344,47 @@ func (st *State) Clone() *State {
 	for i := range st.Barriers {
 		ns.Barriers[i].Arrived = append([]int(nil), st.Barriers[i].Arrived...)
 	}
-	ns.Threads = make([]*Thread, len(st.Threads))
-	for i, t := range st.Threads {
-		ns.Threads[i] = t.clone()
+
+	// Threads: slab-allocate the thread and frame objects and one
+	// expression slab holding every frame's locals and operand stack.
+	nFrames, nExprs := 0, 0
+	for _, t := range st.Threads {
+		nFrames += len(t.Frames)
+		for _, f := range t.Frames {
+			nExprs += len(f.Locals) + len(f.Stack)
+		}
 	}
-	ns.Outputs = append([]Output(nil), st.Outputs...)
-	ns.PathCond = append([]expr.Expr(nil), st.PathCond...)
+	thSlab := make([]Thread, len(st.Threads))
+	frSlab := make([]Frame, nFrames)
+	fpSlab := make([]*Frame, nFrames)
+	xslab := make([]expr.Expr, nExprs)
+	ns.Threads = make([]*Thread, len(st.Threads))
+	fi, xi := 0, 0
+	for i, t := range st.Threads {
+		nt := &thSlab[i]
+		*nt = *t
+		nt.Frames = fpSlab[fi : fi : fi+len(t.Frames)]
+		for _, f := range t.Frames {
+			nf := &frSlab[fi]
+			nf.Fn, nf.PC = f.Fn, f.PC
+			nf.Locals = xslab[xi : xi+len(f.Locals) : xi+len(f.Locals)]
+			copy(nf.Locals, f.Locals)
+			xi += len(f.Locals)
+			nf.Stack = xslab[xi : xi+len(f.Stack) : xi+len(f.Stack)]
+			copy(nf.Stack, f.Stack)
+			xi += len(f.Stack)
+			nt.Frames = append(nt.Frames, nf)
+			fi++
+		}
+		ns.Threads[i] = nt
+	}
+
+	// Append-only slices: share the backing array, cap-trimmed so that
+	// an append by parent or clone reallocates instead of overwriting
+	// the shared prefix.
+	ns.Outputs = st.Outputs[:len(st.Outputs):len(st.Outputs)]
+	ns.PathCond = st.PathCond[:len(st.PathCond):len(st.PathCond)]
+
 	ns.Hints = make(expr.Assignment, len(st.Hints))
 	for k, v := range st.Hints {
 		ns.Hints[k] = v
@@ -426,12 +493,28 @@ func (st *State) Concretize(model expr.Assignment) {
 			}
 		}
 	}
-	for oi := range st.Outputs {
-		for pi := range st.Outputs[oi].Parts {
-			if e := st.Outputs[oi].Parts[pi].E; e != nil {
-				st.Outputs[oi].Parts[pi].E = sub(e)
+	// Rebuild the output records instead of substituting in place: the
+	// Outputs slice and the Parts arrays inside it may be shared with
+	// the state this one was cloned from (and with sibling clones being
+	// concretized concurrently on other workers), so they must be
+	// treated as immutable.
+	if n := len(st.Outputs); n > 0 {
+		outs := make([]Output, n)
+		copy(outs, st.Outputs)
+		for oi := range outs {
+			rebuilt := false
+			for pi, p := range outs[oi].Parts {
+				if p.E == nil {
+					continue
+				}
+				if !rebuilt {
+					outs[oi].Parts = append([]OutPart(nil), outs[oi].Parts...)
+					rebuilt = true
+				}
+				outs[oi].Parts[pi].E = sub(p.E)
 			}
 		}
+		st.Outputs = outs
 	}
 	// Future arg reads become concrete, consistent with the model.
 	for i := range st.SymArgs {

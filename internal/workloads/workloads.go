@@ -12,8 +12,8 @@
 // (deadlock, crashes, the fmm semantic violation, the memcached what-if
 // crash).
 //
-// Ground truth is recorded per racy global. Any deliberate deviations
-// from the paper's exact row values are listed in EXPERIMENTS.md.
+// Ground truth is recorded per racy global, alongside the paper's
+// published row values (PaperRow) for side-by-side reporting.
 package workloads
 
 import (

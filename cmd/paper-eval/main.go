@@ -13,20 +13,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 
-	"repro/internal/core"
+	"repro/internal/cliutil"
 	"repro/internal/eval"
 )
 
 func main() {
 	table := flag.Int("table", 0, "render only this table (1-5)")
 	fig := flag.Int("fig", 0, "render only this figure (7, 9, 10)")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "classification worker-pool width per run (1 = sequential; results are identical for every width, only wall-clock changes)")
+	parallel := cliutil.ParallelFlag("classification worker-pool width per run (1 = sequential; results are identical for every width, only wall-clock changes)")
 	flag.Parse()
 
-	opts := core.DefaultOptions()
-	opts.Parallel = *parallel
+	opts := eval.Options(*parallel)
 
 	needSuite := *fig == 0 || *table != 0
 	var s *eval.Suite

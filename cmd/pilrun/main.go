@@ -7,38 +7,18 @@
 //
 //	pilrun [-args 1,2,3] [-inputs 4,5] [-budget N] [-disasm] prog.pil
 //	pilrun -workload pbzip2
+//	pilrun -workload ocean -timeout 5s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"strconv"
-	"strings"
-	"time"
 
-	"repro/internal/bytecode"
-	"repro/internal/lang"
-	"repro/internal/vm"
-	"repro/internal/workloads"
+	"repro/internal/cliutil"
+	"repro/portend"
 )
-
-func parseInts(s string) ([]int64, error) {
-	if s == "" {
-		return nil, nil
-	}
-	parts := strings.Split(s, ",")
-	out := make([]int64, 0, len(parts))
-	for _, p := range parts {
-		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
 
 func main() {
 	argsFlag := flag.String("args", "", "comma-separated program arguments")
@@ -46,76 +26,70 @@ func main() {
 	budget := flag.Int64("budget", 50_000_000, "instruction budget")
 	disasm := flag.Bool("disasm", false, "print disassembly and exit")
 	workload := flag.String("workload", "", "run a built-in workload instead of a file")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
 	// -parallel is accepted for interface symmetry with portend and
 	// paper-eval, but a single concrete execution is inherently
 	// sequential, so the value is not used.
-	flag.Int("parallel", runtime.GOMAXPROCS(0), "accepted for symmetry with portend; a single concrete execution is inherently sequential")
+	cliutil.ParallelFlag("accepted for symmetry with portend; a single concrete execution is inherently sequential")
 	flag.Parse()
 
-	var prog *bytecode.Program
-	args, err := parseInts(*argsFlag)
+	args, err := cliutil.ParseInts(*argsFlag)
 	if err != nil {
 		fatal(err)
 	}
-	inputs, err := parseInts(*inputsFlag)
+	inputs, err := cliutil.ParseInts(*inputsFlag)
 	if err != nil {
 		fatal(err)
 	}
 
-	if *workload != "" {
-		w := workloads.ByName(*workload)
-		if w == nil {
-			fatal(fmt.Errorf("unknown workload %q", *workload))
-		}
-		prog = w.Compile()
-		if args == nil {
-			args = w.Args
-		}
-		if inputs == nil {
-			inputs = w.Inputs
-		}
-	} else {
-		if flag.NArg() != 1 {
-			fmt.Fprintln(os.Stderr, "usage: pilrun [flags] prog.pil (or -workload name)")
-			os.Exit(2)
-		}
-		src, err := os.ReadFile(flag.Arg(0))
-		if err != nil {
-			fatal(err)
-		}
-		ast, err := lang.Parse(string(src))
-		if err != nil {
-			fatal(err)
-		}
-		prog, err = bytecode.Compile(ast, flag.Arg(0), bytecode.Options{})
-		if err != nil {
-			fatal(err)
-		}
+	var target portend.Target
+	switch {
+	case *workload != "":
+		target = portend.Workload(*workload)
+	case flag.NArg() == 1:
+		target = portend.File(flag.Arg(0))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: pilrun [flags] prog.pil (or -workload name)")
+		os.Exit(2)
+	}
+	if args != nil {
+		target = target.WithArgs(args...)
+	}
+	if inputs != nil {
+		target = target.WithInputs(inputs...)
 	}
 
 	if *disasm {
-		fmt.Print(prog.Disasm())
+		text, err := portend.Disassemble(target)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(text)
 		return
 	}
 
-	st := vm.NewState(prog, args, inputs)
-	m := vm.NewMachine(st, vm.NewRoundRobin())
-	start := time.Now()
-	res := m.Run(*budget)
-	dur := time.Since(start)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
-	fmt.Print(st.RenderOutputs())
-	fmt.Fprintf(os.Stderr, "-- %s after %d instructions in %v\n", res.Kind, st.Steps, dur)
-	if res.Err != nil {
-		fmt.Fprintf(os.Stderr, "-- runtime error: %v\n", res.Err)
+	res, err := portend.Exec(ctx, target, *budget)
+	if res == nil {
+		fatal(err)
+	}
+	fmt.Print(res.Output)
+	fmt.Fprintf(os.Stderr, "-- %s after %d instructions in %v\n", res.Stop, res.Steps, res.Duration)
+	if res.Err != "" {
+		fmt.Fprintf(os.Stderr, "-- runtime error: %s\n", res.Err)
 		os.Exit(1)
 	}
-	if res.Kind == vm.StopDeadlock {
+	if err != nil || res.Failed() {
 		os.Exit(1)
 	}
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pilrun:", err)
-	os.Exit(1)
+	cliutil.Fatal("pilrun", err)
 }

@@ -9,41 +9,27 @@
 //	portend [-args 1,2] [-inputs 3,4] [-mp 5] [-ma 2] [-sym 2] [-parallel N] prog.pil
 //	portend -workload pbzip2
 //	portend -workload memcached -whatif
+//	portend -workload rw -json
+//	portend -workload sqlite -stream -timeout 30s
 //
 // Classification runs on a worker pool (-parallel, default GOMAXPROCS);
-// the verdicts are byte-identical for every pool width.
+// the verdicts are byte-identical for every pool width. -json emits one
+// machine-readable report on stdout; -stream prints verdicts as they
+// land; -timeout bounds the whole analysis via a context deadline and
+// reports the partial results classified before it fired.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"sort"
-	"strconv"
-	"strings"
 
-	"repro/internal/bytecode"
-	"repro/internal/core"
-	"repro/internal/lang"
-	"repro/internal/workloads"
+	"repro/internal/cliutil"
+	"repro/portend"
 )
-
-func parseInts(s string) ([]int64, error) {
-	if s == "" {
-		return nil, nil
-	}
-	parts := strings.Split(s, ",")
-	out := make([]int64, 0, len(parts))
-	for _, p := range parts {
-		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
 
 func main() {
 	argsFlag := flag.String("args", "", "comma-separated program arguments")
@@ -51,109 +37,145 @@ func main() {
 	mp := flag.Int("mp", 5, "max primary paths (Mp)")
 	ma := flag.Int("ma", 2, "alternate schedules per primary (Ma)")
 	sym := flag.Int("sym", 2, "number of symbolic inputs")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "classification worker-pool width (1 = sequential; verdicts are identical for every width)")
+	parallel := cliutil.ParallelFlag("")
 	workload := flag.String("workload", "", "analyze a built-in workload")
 	whatIf := flag.Bool("whatif", false, "run the workload's what-if analysis (remove its designated locks)")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report on stdout")
+	stream := flag.Bool("stream", false, "print verdicts as they land (detection order) instead of the sorted summary")
+	timeout := flag.Duration("timeout", 0, "abort the analysis after this long, reporting partial results (0 = no deadline)")
 	verbose := flag.Bool("v", false, "print full debugging-aid reports")
 	flag.Parse()
 
-	opts := core.DefaultOptions()
-	opts.Mp, opts.Ma, opts.SymbolicInputs = *mp, *ma, *sym
-	opts.Parallel = *parallel
+	a := portend.New(
+		portend.WithMaxPaths(*mp),
+		portend.WithMaxSchedules(*ma),
+		portend.WithSymbolicInputs(*sym),
+		portend.WithParallel(*parallel),
+	)
 
-	args, err := parseInts(*argsFlag)
+	args, err := cliutil.ParseInts(*argsFlag)
 	if err != nil {
 		fatal(err)
 	}
-	inputs, err := parseInts(*inputsFlag)
+	inputs, err := cliutil.ParseInts(*inputsFlag)
 	if err != nil {
 		fatal(err)
 	}
 
-	var prog *bytecode.Program
-	var source, name string
-	var whatIfLines []int
+	var target portend.Target
+	switch {
+	case *workload != "":
+		target = portend.Workload(*workload)
+	case flag.NArg() == 1:
+		target = portend.File(flag.Arg(0))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: portend [flags] prog.pil (or -workload name)")
+		os.Exit(2)
+	}
+	if args != nil {
+		target = target.WithArgs(args...)
+	}
+	if inputs != nil {
+		target = target.WithInputs(inputs...)
+	}
 
-	if *workload != "" {
-		w := workloads.ByName(*workload)
-		if w == nil {
-			fatal(fmt.Errorf("unknown workload %q (have: sqlite ocean fmm memcached pbzip2 ctrace bbuf avv dcl dbm rw)", *workload))
-		}
-		prog = w.Compile()
-		source, name, whatIfLines = w.Source, w.Name, w.WhatIfLines
-		if args == nil {
-			args = w.Args
-		}
-		if inputs == nil {
-			inputs = w.Inputs
-		}
-		if w.Predicates != nil {
-			opts.Predicates = w.Predicates(prog)
-		}
-	} else {
-		if flag.NArg() != 1 {
-			fmt.Fprintln(os.Stderr, "usage: portend [flags] prog.pil (or -workload name)")
-			os.Exit(2)
-		}
-		raw, err := os.ReadFile(flag.Arg(0))
-		if err != nil {
-			fatal(err)
-		}
-		source, name = string(raw), flag.Arg(0)
-		ast, err := lang.Parse(source)
-		if err != nil {
-			fatal(err)
-		}
-		prog, err = bytecode.Compile(ast, name, bytecode.Options{})
-		if err != nil {
-			fatal(err)
-		}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	if *whatIf {
-		if len(whatIfLines) == 0 {
-			fatal(fmt.Errorf("workload has no designated what-if synchronization"))
-		}
-		res, err := core.WhatIf(source, name, whatIfLines, args, inputs, opts)
+		res, err := a.WhatIf(ctx, target)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("what-if: removed synchronization at lines %v\n", whatIfLines)
+		if *jsonOut {
+			emitJSON(res)
+			return
+		}
+		fmt.Printf("what-if: removed synchronization at lines %v\n", res.RemovedLines)
 		fmt.Printf("new races induced: %d\n\n", len(res.NewRaces))
-		printVerdicts(res.Modified, res.NewRaces, *verbose)
+		printVerdicts(res.NewRaces, *verbose)
 		return
 	}
 
-	res := core.Run(prog, args, inputs, opts)
-	fmt.Printf("portend: %d distinct race(s) detected in %s\n\n", len(res.Verdicts), name)
-	printVerdicts(prog, res.Verdicts, *verbose)
-	for _, e := range res.Errors {
-		fmt.Fprintf(os.Stderr, "classification error: %v\n", e)
+	if *stream {
+		// With -json this emits NDJSON: one compact object per verdict.
+		streamVerdicts(ctx, a, target, *verbose, *jsonOut)
+		return
+	}
+
+	rep, err := a.AnalyzeAll(ctx, target)
+	if err != nil && rep == nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		emitJSON(rep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "portend: analysis incomplete: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("portend: %d distinct race(s) detected in %s\n\n", len(rep.Verdicts), target.Name())
+	printVerdicts(rep.Triage(), *verbose)
+	for _, e := range rep.Errors {
+		fmt.Fprintf(os.Stderr, "classification error: %s\n", e)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "portend: analysis incomplete: %v\n", err)
+		os.Exit(1)
 	}
 }
 
-func printVerdicts(prog *bytecode.Program, vs []*core.Verdict, verbose bool) {
-	sorted := append([]*core.Verdict(nil), vs...)
-	sort.SliceStable(sorted, func(i, j int) bool {
-		return core.HarmfulnessRank(sorted[i].Class) < core.HarmfulnessRank(sorted[j].Class)
-	})
-	for i, v := range sorted {
-		fmt.Printf("[%d] %s  —  %s\n", i+1, v.Race.ID(), v)
+// streamVerdicts prints each verdict the moment it (and every earlier
+// one) lands — the service-shaped consumption pattern. In JSON mode each
+// verdict is one compact NDJSON line.
+func streamVerdicts(ctx context.Context, a *portend.Analyzer, target portend.Target, verbose, jsonOut bool) {
+	enc := json.NewEncoder(os.Stdout)
+	i := 0
+	for v, err := range a.Analyze(ctx, target) {
+		if err != nil {
+			var re *portend.RaceError
+			if errors.As(err, &re) {
+				fmt.Fprintf(os.Stderr, "classification error: %v\n", re)
+				continue
+			}
+			fatal(err)
+		}
+		i++
+		if jsonOut {
+			if err := enc.Encode(v); err != nil {
+				fatal(err)
+			}
+			continue
+		}
+		fmt.Printf("[%d] %s  —  %s\n", i, v.Race.ID, v)
 		if verbose {
-			fmt.Println(indent(v.Report(prog), "    "))
+			fmt.Println(cliutil.Indent(v.DebugReport(), "    "))
 		}
 	}
 }
 
-func indent(s, pad string) string {
-	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
-	for i := range lines {
-		lines[i] = pad + lines[i]
+func printVerdicts(vs []portend.Verdict, verbose bool) {
+	for i, v := range vs {
+		fmt.Printf("[%d] %s  —  %s\n", i+1, v.Race.ID, v)
+		if verbose {
+			fmt.Println(cliutil.Indent(v.DebugReport(), "    "))
+		}
 	}
-	return strings.Join(lines, "\n")
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "portend:", err)
-	os.Exit(1)
+	cliutil.Fatal("portend", err)
 }

@@ -10,33 +10,36 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
-	"repro/internal/core"
-	"repro/internal/workloads"
+	"repro/portend"
 )
 
 func main() {
-	w := workloads.ByName("pbzip2")
-	prog := w.Compile()
-	res := core.Run(prog, w.Args, w.Inputs, core.DefaultOptions())
+	a := portend.New()
+	report, err := a.AnalyzeAll(context.Background(), portend.Workload("pbzip2"))
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	byClass := res.ByClass()
-	fmt.Printf("pbzip2-sim: %d distinct races\n", len(res.Verdicts))
-	fmt.Printf("  specViol : %d (real bugs: crashes under the alternate ordering)\n", len(byClass[core.SpecViolated]))
-	fmt.Printf("  outDiff  : %d (schedule-dependent output)\n", len(byClass[core.OutputDiffers]))
-	fmt.Printf("  k-witness: %d\n", len(byClass[core.KWitnessHarmless]))
-	fmt.Printf("  singleOrd: %d (ad-hoc synchronization: only one ordering possible)\n\n", len(byClass[core.SingleOrdering]))
+	byClass := report.ByClass()
+	fmt.Printf("pbzip2-sim: %d distinct races\n", len(report.Verdicts))
+	fmt.Printf("  specViol : %d (real bugs: crashes under the alternate ordering)\n", len(byClass[portend.SpecViolated]))
+	fmt.Printf("  outDiff  : %d (schedule-dependent output)\n", len(byClass[portend.OutputDiffers]))
+	fmt.Printf("  k-witness: %d\n", len(byClass[portend.KWitnessHarmless]))
+	fmt.Printf("  singleOrd: %d (ad-hoc synchronization: only one ordering possible)\n\n", len(byClass[portend.SingleOrdering]))
 
 	fmt.Println("without classification, a developer would wade through all of them;")
-	fmt.Printf("with it, only %d need attention.\n\n", len(byClass[core.SpecViolated])+len(byClass[core.OutputDiffers]))
+	fmt.Printf("with it, only %d need attention.\n\n", len(byClass[portend.SpecViolated])+len(byClass[portend.OutputDiffers]))
 
-	if so := byClass[core.SingleOrdering]; len(so) > 0 {
+	if so := byClass[portend.SingleOrdering]; len(so) > 0 {
 		fmt.Println("example single-ordering report (a pipeline hand-off):")
-		fmt.Println(so[0].Report(prog))
+		fmt.Println(so[0].DebugReport())
 	}
-	if sv := byClass[core.SpecViolated]; len(sv) > 0 {
+	if sv := byClass[portend.SpecViolated]; len(sv) > 0 {
 		fmt.Println("example harmful-race report (fix this one):")
-		fmt.Println(sv[0].Report(prog))
+		fmt.Println(sv[0].DebugReport())
 	}
 }

@@ -1,16 +1,17 @@
 // Quickstart: detect and classify the races in a small PIL program.
 //
-// This is the smallest end-to-end use of the library: compile a program,
-// run Portend (detection + classification), and inspect the verdicts.
+// This is the smallest end-to-end use of the public API: build an
+// Analyzer, point it at a source target, and inspect the verdicts.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
-	"repro/internal/bytecode"
-	"repro/internal/core"
+	"repro/portend"
 )
 
 // A tiny program with two races: a harmful one (the alternate ordering
@@ -34,20 +35,23 @@ fn main() {
 }`
 
 func main() {
-	prog := bytecode.MustCompile(src, "quickstart", bytecode.Options{})
+	// The defaults are the paper's evaluation settings: Mp=5 primary
+	// paths, Ma=2 alternate schedules, 2 symbolic inputs.
+	a := portend.New()
 
-	// Run with the paper's evaluation defaults: Mp=5 primary paths,
-	// Ma=2 alternate schedules, 2 symbolic inputs.
-	result := core.Run(prog, nil, nil, core.DefaultOptions())
+	report, err := a.AnalyzeAll(context.Background(), portend.Source("quickstart", src))
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	fmt.Printf("detected %d distinct data race(s)\n\n", len(result.Verdicts))
-	for _, v := range result.Verdicts {
-		fmt.Printf("== race on %s: %s\n", prog.Globals[v.Race.Key.Obj].Name, v)
-		fmt.Println(v.Report(prog))
+	fmt.Printf("detected %d distinct data race(s)\n\n", len(report.Verdicts))
+	for _, v := range report.Verdicts {
+		fmt.Printf("== race on %s: %s\n", v.Race.Object, v)
+		fmt.Println(v.DebugReport())
 	}
 
 	// The taxonomy makes triage trivial: anything specViol first.
-	for _, v := range result.ByClass()[core.SpecViolated] {
-		fmt.Printf("FIX FIRST: %s (%s: %s)\n", v.Race.ID(), v.Consequence, v.Detail)
+	for _, v := range report.ByClass()[portend.SpecViolated] {
+		fmt.Printf("FIX FIRST: %s (%s: %s)\n", v.Race.ID, v.Consequence, v.Detail)
 	}
 }

@@ -3,54 +3,52 @@
 // A detector like ThreadSanitizer floods developers with race reports
 // ("over 1,000 unique data races in Firefox"). Portend's job is to order
 // them by predicted consequence so developers fix the critical ones
-// first. This example runs the detector+classifier over several of the
-// evaluation workloads and prints one prioritized queue.
+// first. This example streams verdicts for several evaluation workloads
+// off one Analyzer and prints a single prioritized queue.
 //
 //	go run ./examples/triage
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"sort"
 
-	"repro/internal/core"
-	"repro/internal/workloads"
+	"repro/portend"
 )
 
 type item struct {
 	program string
-	global  string
-	verdict *core.Verdict
+	verdict portend.Verdict
 }
 
 func main() {
+	a := portend.New()
+
 	var queue []item
 	for _, name := range []string{"sqlite", "ctrace", "bbuf", "rw"} {
-		w := workloads.ByName(name)
-		prog := w.Compile()
-		res := core.Run(prog, w.Args, w.Inputs, core.DefaultOptions())
-		for _, v := range res.Verdicts {
-			queue = append(queue, item{
-				program: name,
-				global:  prog.Globals[v.Race.Key.Obj].Name,
-				verdict: v,
-			})
+		// Analyze streams verdicts as they land; here we just drain the
+		// sequence into the queue.
+		for v, err := range a.Analyze(context.Background(), portend.Workload(name)) {
+			if err != nil {
+				log.Fatal(err)
+			}
+			queue = append(queue, item{program: name, verdict: v})
 		}
 	}
 
 	// Order by harmfulness: specViol, then outDiff, then k-witness,
 	// then singleOrd.
 	sort.SliceStable(queue, func(i, j int) bool {
-		return core.HarmfulnessRank(queue[i].verdict.Class) <
-			core.HarmfulnessRank(queue[j].verdict.Class)
+		return queue[i].verdict.Class.Rank() < queue[j].verdict.Class.Rank()
 	})
 
 	fmt.Printf("triage queue: %d races across 4 programs\n", len(queue))
 	fmt.Println("--------------------------------------------------")
 	for i, it := range queue {
 		v := it.verdict
-		line := fmt.Sprintf("#%02d [%s] %s/%s — %s", i+1, v.Class, it.program, it.global, v)
-		fmt.Println(line)
+		fmt.Printf("#%02d [%s] %s/%s — %s\n", i+1, v.Class, it.program, v.Race.Object, v)
 	}
 	fmt.Println()
 	fmt.Println("a developer works top-down: the deadlock and the overflow first,")

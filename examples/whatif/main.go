@@ -3,42 +3,39 @@
 // The paper turns a synchronization operation in memcached into a no-op
 // and asks Portend for the consequences; Portend finds an interleaving
 // that crashes the server, so the lock stays. This example reproduces
-// that workflow on the memcached workload.
+// that workflow on the memcached workload through the public API.
 //
 //	go run ./examples/whatif
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
-	"repro/internal/core"
-	"repro/internal/workloads"
+	"repro/portend"
 )
 
 func main() {
-	w := workloads.ByName("memcached")
+	a := portend.New()
 
 	fmt.Println("question: can we drop the slotMu critical sections to reduce lock contention?")
-	fmt.Printf("removing lock/unlock at source lines %v\n\n", w.WhatIfLines)
 
-	res, err := core.WhatIf(w.Source, w.Name, w.WhatIfLines, w.Args, w.Inputs, core.DefaultOptions())
+	res, err := a.WhatIf(context.Background(), portend.Workload("memcached"))
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
+	fmt.Printf("removing lock/unlock at source lines %v\n\n", res.RemovedLines)
 
 	if len(res.NewRaces) == 0 {
 		fmt.Println("no new races: the lock looks removable under the analyzed inputs")
 		return
 	}
 	fmt.Printf("removing the lock induces %d new race(s):\n\n", len(res.NewRaces))
-	verdictKeepLock := false
 	for _, v := range res.NewRaces {
-		fmt.Println(v.Report(res.Modified))
-		if v.Class == core.SpecViolated {
-			verdictKeepLock = true
-		}
+		fmt.Println(v.DebugReport())
 	}
-	if verdictKeepLock {
+	if res.KeepSync() {
 		fmt.Println("answer: NO — an interleaving crashes the server; keep the lock.")
 	} else {
 		fmt.Println("answer: the induced races look benign; removal is defensible.")

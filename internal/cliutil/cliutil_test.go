@@ -1,0 +1,37 @@
+package cliutil
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    []int64
+		wantErr bool
+	}{
+		{"", nil, false},
+		{"1", []int64{1}, false},
+		{"1,2,3", []int64{1, 2, 3}, false},
+		{" 4 , -5 ", []int64{4, -5}, false},
+		{"1,x", nil, true},
+		{"1,,2", nil, true},
+	}
+	for _, tc := range cases {
+		got, err := ParseInts(tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("ParseInts(%q) error = %v, wantErr %v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if err == nil && !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseInts(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestIndent(t *testing.T) {
+	if got := Indent("a\nb\n", "  "); got != "  a\n  b" {
+		t.Errorf("Indent = %q", got)
+	}
+}

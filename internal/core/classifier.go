@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -17,6 +18,28 @@ type Classifier struct {
 	Prog *bytecode.Program
 	Opts Options
 	sol  *solver.Solver
+
+	// ctx/interrupt carry ClassifyCtx's cancellation to every machine,
+	// exploration loop, and solver query the classification spawns.
+	// They are set once per ClassifyCtx call, before any concurrent
+	// phase starts, and are read-only afterwards.
+	ctx       context.Context
+	interrupt func() bool
+}
+
+// canceled returns the classification context's error, if any.
+func (c *Classifier) canceled() error {
+	if c.ctx == nil {
+		return nil
+	}
+	return c.ctx.Err()
+}
+
+// newMachine builds a machine wired to the classification's cancellation.
+func (c *Classifier) newMachine(st *vm.State, ctl vm.Controller) *vm.Machine {
+	m := vm.NewMachine(st, ctl)
+	m.Interrupt = c.interrupt
+	return m
 }
 
 // New returns a classifier; zero fields of opts fall back to defaults.
@@ -48,6 +71,27 @@ func New(prog *bytecode.Program, opts Options) *Classifier {
 // inconclusive ("outSame") — multi-path multi-schedule analysis with
 // symbolic output comparison (Algorithm 2).
 func (c *Classifier) Classify(rep *race.Report, tr *trace.Trace) (*Verdict, error) {
+	return c.ClassifyCtx(context.Background(), rep, tr)
+}
+
+// ClassifyCtx is Classify with cancellation: an already-cancelled ctx
+// returns immediately, and a cancel or deadline mid-analysis interrupts
+// the replay machines, the multi-path worklist, and the solver, returning
+// ctx's error. A verdict is returned only when the analysis ran to
+// completion — never a partially analyzed (and thus unreliable) class.
+func (c *Classifier) ClassifyCtx(cctx context.Context, rep *race.Report, tr *trace.Trace) (*Verdict, error) {
+	// Rebind (or clear) the hooks on every call: a Classifier reused
+	// after a cancellable-ctx call must not keep polling the old one.
+	c.ctx = cctx
+	c.interrupt = nil
+	if cctx.Done() != nil {
+		c.interrupt = func() bool { return cctx.Err() != nil }
+	}
+	c.sol.Interrupt = c.interrupt
+	if err := c.canceled(); err != nil {
+		return nil, err
+	}
+
 	start := time.Now()
 	q0 := c.sol.Queries()
 	v := &Verdict{Race: rep, K: 1}
@@ -59,6 +103,9 @@ func (c *Classifier) Classify(rep *race.Report, tr *trace.Trace) (*Verdict, erro
 	}
 
 	a := c.singleClassify(ctx)
+	if err := c.canceled(); err != nil {
+		return nil, err
+	}
 	v.StatesDiffer = a.statesDiffer
 	if !a.outSame {
 		v.Class = a.class
@@ -79,6 +126,9 @@ func (c *Classifier) Classify(rep *race.Report, tr *trace.Trace) (*Verdict, erro
 	}
 
 	mp := c.multiPath(rep, tr)
+	if err := c.canceled(); err != nil {
+		return nil, err
+	}
 	v.Class = mp.class
 	v.Consequence = mp.consequence
 	v.Detail = mp.detail
@@ -218,11 +268,14 @@ func (c *Classifier) replayToRace(rep *race.Report, tr *trace.Trace) (*pairCtx, 
 	rc := newReadCounter(rep.Key.Space, rep.Key.Obj)
 	st.Observers = append(st.Observers, rc)
 	repl := trace.NewReplayer(tr, vm.NewRoundRobin())
-	m := vm.NewMachine(st, repl)
+	m := c.newMachine(st, repl)
 
 	m.Break = breakAtAccess(rep.First.TID, rep.First.TInstr)
 	res := m.Run(c.Opts.RunBudget)
 	if res.Kind != vm.StopBreak {
+		if err := c.canceled(); err != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("portend: replay did not reach first racing access of %s (%v)", rep.ID(), res.Kind)
 	}
 	pre := st.Clone()
@@ -230,6 +283,9 @@ func (c *Classifier) replayToRace(rep *race.Report, tr *trace.Trace) (*pairCtx, 
 	m.Break = breakAtAccess(rep.Second.TID, rep.Second.TInstr)
 	res = m.Run(c.Opts.RunBudget)
 	if res.Kind != vm.StopBreak {
+		if err := c.canceled(); err != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("portend: replay did not reach second racing access of %s (%v)", rep.ID(), res.Kind)
 	}
 	m.Break = nil
@@ -280,7 +336,7 @@ type enforceResult struct {
 func (c *Classifier) enforceAlternate(pre *vm.State, firstTID, secondTID int, space vm.Space, obj int64, ctl vm.Controller) enforceResult {
 	alt := pre.Clone()
 	alt.Suspend(firstTID)
-	m := vm.NewMachine(alt, ctl)
+	m := c.newMachine(alt, ctl)
 	m.SpinTrack = true
 	m.Break = func(st *vm.State, cur int, pc bytecode.PCRef, in bytecode.Instr) bool {
 		return cur == secondTID && accessToObj(in, space, obj)

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/bytecode"
 	"repro/internal/lang"
@@ -17,29 +19,63 @@ type Result struct {
 	Prog      *bytecode.Program
 	Detection *race.DetectionResult
 	Verdicts  []*Verdict
-	// Errors holds per-race classification errors (indexes align with
-	// the detection reports that failed; successful races appear in
-	// Verdicts).
+	// Errors holds per-race classification errors. Each entry is
+	// prefixed with the failing race's ID and appended in detection-
+	// report order; races that classified successfully appear in
+	// Verdicts instead, so the two slices do not share indexes.
 	Errors []error
 }
 
+// YieldFunc consumes streamed classification outcomes: exactly one call
+// per detected race, in detection-report order, carrying either the
+// race's verdict or its classification error (never both). Returning
+// false stops the run early — in-flight workers are cancelled and
+// RunStream returns the partial Result without error.
+type YieldFunc func(rep *race.Report, v *Verdict, err error) bool
+
 // Run detects races in the program under the given concrete arguments and
-// input log, then classifies each distinct race. This is the entry point
-// used by cmd/portend, the examples and the evaluation harness.
+// input log, then classifies each distinct race. It is the batch form of
+// RunStream with a background context.
+func Run(p *bytecode.Program, args, inputs []int64, opts Options) *Result {
+	res, _ := RunStream(context.Background(), p, args, inputs, opts, nil)
+	return res
+}
+
+// RunCtx is Run with cancellation: when ctx is cancelled (or its deadline
+// passes), detection and every in-flight classification abort promptly
+// and RunCtx returns the partial Result accumulated so far together with
+// ctx's error. Partial results contain only fully classified races.
+func RunCtx(ctx context.Context, p *bytecode.Program, args, inputs []int64, opts Options) (*Result, error) {
+	return RunStream(ctx, p, args, inputs, opts, nil)
+}
+
+// RunStream is the engine's streaming entry point: verdicts are handed to
+// yield incrementally, as soon as they and every earlier race's verdict
+// have landed. Emission always follows detection-report order — the same
+// deterministic merge order as the batch path — so the sequence of yields
+// is byte-identical at every pool width; parallelism only shifts the
+// moments at which they fire. A nil yield collects without streaming.
 //
 // Classification fans out across opts.Parallel workers (GOMAXPROCS when
 // unset): each race is an independent analysis, so each worker task gets
-// its own Classifier (and thus its own solver) and writes its verdict
+// its own Classifier (and thus its own solver) and writes its outcome
 // into a slot indexed by the race's position in the detection report
-// list. The merge below walks the slots in that order, which makes the
-// resulting Verdicts and Errors identical to a sequential run.
-func Run(p *bytecode.Program, args, inputs []int64, opts Options) *Result {
+// list; slots are merged — and streamed — strictly in that order.
+func RunStream(ctx context.Context, p *bytecode.Program, args, inputs []int64, opts Options, yield YieldFunc) (*Result, error) {
 	budget := opts.RunBudget
 	if budget <= 0 {
 		budget = DefaultOptions().RunBudget
 	}
-	det := race.Detect(p, args, inputs, budget)
-	res := &Result{Prog: p, Detection: det}
+	res := &Result{Prog: p}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	det := race.DetectCtx(ctx, p, args, inputs, budget)
+	res.Detection = det
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	n := len(det.Reports)
 
 	// Split the pool between the two fan-out levels: when the races
 	// alone saturate the pool, each race classifies with a sequential
@@ -50,28 +86,95 @@ func Run(p *bytecode.Program, args, inputs []int64, opts Options) *Result {
 	// verdict — pool width only affects wall-clock.
 	workers := sched.Workers(opts.Parallel)
 	inner := opts
-	if n := len(det.Reports); n > 0 {
+	if n > 0 {
 		inner.Parallel = (workers + n - 1) / n
+	}
+	if workers > n {
+		workers = n
 	}
 
 	type outcome struct {
 		v   *Verdict
 		err error
 	}
-	outs := make([]outcome, len(det.Reports))
-	sched.Map(workers, len(det.Reports), func(i int) {
-		cl := New(p, inner)
-		v, err := cl.Classify(det.Reports[i], det.Trace)
-		outs[i] = outcome{v, err}
-	})
-	for i, o := range outs {
+	outs := make([]outcome, n)
+
+	// merge folds slot i into the Result and streams it; it reports
+	// whether the run should continue.
+	merge := func(i int) bool {
+		o := outs[i]
+		rep := det.Reports[i]
 		if o.err != nil {
-			res.Errors = append(res.Errors, fmt.Errorf("%s: %w", det.Reports[i].ID(), o.err))
-			continue
+			res.Errors = append(res.Errors, fmt.Errorf("%s: %w", rep.ID(), o.err))
+		} else {
+			res.Verdicts = append(res.Verdicts, o.v)
 		}
-		res.Verdicts = append(res.Verdicts, o.v)
+		return yield == nil || yield(rep, o.v, o.err)
 	}
-	return res
+
+	if workers <= 1 || n == 1 {
+		// Sequential engine: classify and stream inline, in order.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
+			v, err := New(p, inner).ClassifyCtx(ctx, det.Reports[i], det.Trace)
+			if cerr := ctx.Err(); cerr != nil {
+				return res, cerr
+			}
+			outs[i] = outcome{v, err}
+			if !merge(i) {
+				return res, nil
+			}
+		}
+		return res, nil
+	}
+
+	// Parallel engine: workers claim races from a shared cursor and
+	// publish per-slot completion; the caller's goroutine merges and
+	// streams slots strictly in index order. cctx lets an early stop
+	// (yield returning false) or the caller's cancellation wind down
+	// in-flight classifications promptly.
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	done := make([]chan struct{}, n)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		go func() {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if cctx.Err() == nil {
+					v, err := New(p, inner).ClassifyCtx(cctx, det.Reports[i], det.Trace)
+					outs[i] = outcome{v, err}
+				} else {
+					outs[i] = outcome{err: cctx.Err()}
+				}
+				close(done[i])
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case <-done[i]:
+		case <-ctx.Done():
+			return res, ctx.Err()
+		}
+		if err := ctx.Err(); err != nil {
+			// The slot landed, but the run is cancelled: stop merging so
+			// partial results hold only races classified before cancel.
+			return res, err
+		}
+		if !merge(i) {
+			return res, nil
+		}
+	}
+	return res, nil
 }
 
 // ByClass groups the verdicts by class.
@@ -129,6 +232,12 @@ type WhatIfResult struct {
 // the given source lines turned into no-ops — runs detection on both, and
 // classifies the races that exist only in the modified program.
 func WhatIf(src, name string, elideLines []int, args, inputs []int64, opts Options) (*WhatIfResult, error) {
+	return WhatIfCtx(context.Background(), src, name, elideLines, args, inputs, opts)
+}
+
+// WhatIfCtx is WhatIf with cancellation; a cancelled ctx aborts both
+// detection runs and the classification promptly, returning ctx's error.
+func WhatIfCtx(ctx context.Context, src, name string, elideLines []int, args, inputs []int64, opts Options) (*WhatIfResult, error) {
 	ast, err := lang.Parse(src)
 	if err != nil {
 		return nil, err
@@ -150,13 +259,19 @@ func WhatIf(src, name string, elideLines []int, args, inputs []int64, opts Optio
 	if budget <= 0 {
 		budget = DefaultOptions().RunBudget
 	}
-	baseDet := race.Detect(base, args, inputs, budget)
+	baseDet := race.DetectCtx(ctx, base, args, inputs, budget)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	known := map[race.ClusterKey]bool{}
 	for _, r := range baseDet.Reports {
 		known[r.Key] = true
 	}
 
-	res := Run(mod, args, inputs, opts)
+	res, err := RunCtx(ctx, mod, args, inputs, opts)
+	if err != nil {
+		return nil, err
+	}
 	w := &WhatIfResult{Modified: mod, All: res}
 	for _, v := range res.Verdicts {
 		if !known[v.Race.Key] {

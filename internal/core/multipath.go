@@ -73,12 +73,12 @@ func (c *Classifier) collectPrimaries(rep *race.Report, tr *trace.Trace, eng *ex
 
 	maxItems := 4*c.Opts.Mp + 32
 	processed := 0
-	for len(work) > 0 && len(prims) < c.Opts.Mp && processed < maxItems {
+	for len(work) > 0 && len(prims) < c.Opts.Mp && processed < maxItems && c.canceled() == nil {
 		processed++
 		it := work[0]
 		work = work[1:]
 
-		m := vm.NewMachine(it.st, it.ctl)
+		m := c.newMachine(it.st, it.ctl)
 		onFork := func(sib *vm.State) {
 			if len(work) >= 128 {
 				return
@@ -192,6 +192,12 @@ type altEval struct {
 // safe to call concurrently for distinct (pi, j) pairs: it only reads
 // the shared primaryPath and clones its pre-race checkpoint.
 func (c *Classifier) evalAlternate(p *primaryPath, pi, j int, space vm.Space, obj int64) altEval {
+	if c.canceled() != nil {
+		// The outcome is discarded by ClassifyCtx's post-analysis cancel
+		// check; enfTimeout merely keeps the merge loop's bookkeeping
+		// neutral (no witness, no class change) until it unwinds.
+		return altEval{outcome: enfTimeout}
+	}
 	var ctl vm.Controller = vm.NewRoundRobin()
 	if c.Opts.MultiSchedule {
 		ctl = vm.NewRandom(c.Opts.Seed + uint64(pi)*131 + uint64(j)*17 + 1)
@@ -273,6 +279,9 @@ func (c *Classifier) multiPath(rep *race.Report, tr *trace.Trace) *mpResult {
 
 	witnesses := 0
 	for pi, p := range prims {
+		if c.canceled() != nil {
+			break
+		}
 		// A primary path itself may expose a violation (e.g. the Fig 4
 		// overflow happens on the primary of another input).
 		if cons, det, bad := specViolationOf(p.result, p.st); bad {

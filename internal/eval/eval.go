@@ -5,13 +5,25 @@
 package eval
 
 import (
+	"context"
+	"fmt"
 	"time"
 
 	"repro/internal/bytecode"
 	"repro/internal/core"
-	"repro/internal/vm"
 	"repro/internal/workloads"
+	"repro/portend"
 )
+
+// Options builds the engine configuration the harness runs with: the
+// evaluation defaults at the given worker-pool width. It exists so the
+// paper-eval command can configure the suite without reaching into
+// internal/core itself.
+func Options(parallel int) core.Options {
+	o := core.DefaultOptions()
+	o.Parallel = parallel
+	return o
+}
 
 // RaceOutcome pairs one classified race with its ground truth.
 type RaceOutcome struct {
@@ -89,18 +101,29 @@ func (pr *ProgramRun) Durations() []time.Duration {
 	return out
 }
 
-// RunProgram evaluates one workload under the given options.
+// RunProgram evaluates one workload under the given options. It consumes
+// the engine through the public portend facade — the same path as every
+// other consumer — and reaches the raw verdicts via the facade's
+// module-internal escape hatch.
 func RunProgram(w *workloads.Workload, opts core.Options) *ProgramRun {
+	ctx := context.Background()
 	p := w.Compile()
+	target := portend.Compiled(w.Name, p).WithArgs(w.Args...).WithInputs(w.Inputs...)
 
 	// Baseline interpretation (detection disabled, no classification).
-	baseState := vm.NewState(p, w.Args, w.Inputs)
-	baseStart := time.Now()
-	vm.NewMachine(baseState, vm.NewRoundRobin()).Run(50_000_000)
-	baseDur := time.Since(baseStart)
+	base, err := portend.Exec(ctx, target, 50_000_000)
+	if err != nil {
+		panic(fmt.Sprintf("eval: baseline run of %s: %v", w.Name, err))
+	}
 
-	res := core.Run(p, w.Args, w.Inputs, opts)
-	pr := &ProgramRun{W: w, Prog: p, Res: res, BaseInterp: baseDur, BaseSteps: baseState.Steps}
+	rep, err := portend.New(portend.WithEngineOptions(opts)).AnalyzeAll(ctx, target)
+	if err != nil {
+		// A background context and a pre-compiled target leave no
+		// terminal failure mode; anything else is a harness bug.
+		panic(fmt.Sprintf("eval: analysis of %s: %v", w.Name, err))
+	}
+	res := rep.Raw()
+	pr := &ProgramRun{W: w, Prog: p, Res: res, BaseInterp: base.Duration, BaseSteps: base.Steps}
 	for _, v := range res.Verdicts {
 		exp, name, known := w.ExpectedFor(p, v.Race.Loc)
 		pr.Outcomes = append(pr.Outcomes, RaceOutcome{Global: name, Verdict: v, Truth: exp, Known: known})

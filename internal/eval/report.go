@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/tables"
 	"repro/internal/workloads"
+	"repro/portend"
 )
 
 // Table1 renders the program inventory (paper Table 1), with PIL LOC next
@@ -50,25 +52,24 @@ func (s *Suite) Table2() string {
 	}
 
 	// fmm semantic property run (§5.1: "verify that all timestamps used
-	// in fmm are positive").
-	fw := workloads.Fmm()
-	fp := fw.Compile()
-	fopts := s.Opts
-	fopts.Predicates = fw.Predicates(fp)
-	fres := core.Run(fp, fw.Args, fw.Inputs, fopts)
-	for _, v := range fres.Verdicts {
-		if v.Class == core.SpecViolated && v.Consequence == core.ConsSemantic {
-			measured["fmm"].semantic++
+	// in fmm are positive"). The workload target attaches fmm's
+	// timestamp predicate automatically.
+	a := portend.New(portend.WithEngineOptions(s.Opts))
+	if frep, err := a.AnalyzeAll(context.Background(), portend.Workload("fmm")); err == nil {
+		for _, v := range frep.Raw().Verdicts {
+			if v.Class == core.SpecViolated && v.Consequence == core.ConsSemantic {
+				measured["fmm"].semantic++
+			}
 		}
 	}
 
 	// memcached what-if run (§5.1: no-op a synchronization operation and
 	// ask whether it is safe to remove).
-	mw := workloads.Memcached()
-	wres, err := core.WhatIf(mw.Source, mw.Name, mw.WhatIfLines, mw.Args, mw.Inputs, s.Opts)
+	wres, err := a.WhatIf(context.Background(), portend.Workload("memcached"))
 	if err == nil {
 		for _, v := range wres.NewRaces {
-			if v.Class == core.SpecViolated && v.Consequence == core.ConsCrash {
+			raw := v.Raw()
+			if raw.Class == core.SpecViolated && raw.Consequence == core.ConsCrash {
 				measured["memcached"].crash++
 				break // one introduced race, as in the paper
 			}
@@ -301,13 +302,17 @@ func Fig9(preempts, branches []int, opts core.Options) []Fig9Point {
 	if len(branches) == 0 {
 		branches = []int{5, 10, 15, 20}
 	}
+	a := portend.New(portend.WithEngineOptions(opts))
 	var out []Fig9Point
 	for _, p := range preempts {
 		for _, br := range branches {
 			src := workloads.ScaleSource(p, br)
-			w := &workloads.Workload{Name: fmt.Sprintf("scale-p%d-b%d", p, br), Source: src, Inputs: []int64{3}}
-			prog := w.Compile()
-			res := core.Run(prog, nil, w.Inputs, opts)
+			name := fmt.Sprintf("scale-p%d-b%d", p, br)
+			rep, err := a.AnalyzeAll(context.Background(), portend.Source(name, src).WithInputs(3))
+			if err != nil {
+				panic(fmt.Sprintf("eval: fig9 %s: %v", name, err))
+			}
+			res := rep.Raw()
 			var dur time.Duration
 			mp, mb := 0, 0
 			for _, v := range res.Verdicts {

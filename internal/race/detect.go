@@ -1,6 +1,8 @@
 package race
 
 import (
+	"context"
+
 	"repro/internal/bytecode"
 	"repro/internal/trace"
 	"repro/internal/vm"
@@ -22,10 +24,22 @@ type DetectionResult struct {
 // paper's detection phase: "developers could run their existing test
 // suites under Portend" (§3.1). The budget bounds the run (<0: unlimited).
 func Detect(p *bytecode.Program, args, inputs []int64, budget int64) *DetectionResult {
+	return DetectCtx(context.Background(), p, args, inputs, budget)
+}
+
+// DetectCtx is Detect with cancellation: when ctx is cancelled (or its
+// deadline passes) mid-run, detection stops promptly and returns the
+// races and partial trace observed so far; the Run result reports
+// vm.StopCancelled.
+func DetectCtx(ctx context.Context, p *bytecode.Program, args, inputs []int64, budget int64) *DetectionResult {
 	st := vm.NewState(p, args, inputs)
 	det := NewDetector()
 	st.Observers = append(st.Observers, det)
-	tr, res := trace.Record(st, vm.NewRoundRobin(), budget)
+	var interrupt func() bool
+	if ctx.Done() != nil {
+		interrupt = func() bool { return ctx.Err() != nil }
+	}
+	tr, res := trace.RecordWith(st, vm.NewRoundRobin(), budget, interrupt)
 	return &DetectionResult{
 		Prog:    p,
 		Reports: det.Reports(),

@@ -86,6 +86,13 @@ func DefaultOptions() Options {
 type Solver struct {
 	opts Options
 
+	// Interrupt, when non-nil, is polled during the backtracking search;
+	// when it reports true the query aborts with Unknown. Set it before
+	// the solver's first query (it is read concurrently afterwards).
+	// Cancellation maps to Unknown — never to Unsat — so an aborted
+	// query can only make the classifier more conservative, not wrong.
+	Interrupt func() bool
+
 	queries    atomic.Int64
 	nodesTotal atomic.Int64
 }
@@ -505,6 +512,7 @@ func (s *Solver) Solve(constraints []expr.Expr, hints expr.Assignment) (expr.Ass
 
 	env := make(expr.Assignment, len(names))
 	nodes := 0
+	interrupted := false
 	var search func(step int) bool
 	search = func(step int) bool {
 		if step == len(order) {
@@ -512,8 +520,15 @@ func (s *Solver) Solve(constraints []expr.Expr, hints expr.Assignment) (expr.Ass
 		}
 		vi := order[step]
 		for _, v := range cand[vi] {
+			if interrupted {
+				return false
+			}
 			nodes++
 			if nodes > s.opts.MaxNodes {
+				return false
+			}
+			if s.Interrupt != nil && nodes%64 == 0 && s.Interrupt() {
+				interrupted = true
 				return false
 			}
 			env[names[vi]] = v
@@ -542,7 +557,7 @@ func (s *Solver) Solve(constraints []expr.Expr, hints expr.Assignment) (expr.Ass
 		}
 		return model, Sat
 	}
-	if nodes > s.opts.MaxNodes || !allComplete {
+	if nodes > s.opts.MaxNodes || interrupted || !allComplete {
 		return nil, Unknown
 	}
 	return nil, Unsat

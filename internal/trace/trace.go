@@ -130,11 +130,20 @@ func (r *Replayer) PickNext(st *vm.State, runnable []int) int {
 // run result. This is the "run your test suite under the race detector"
 // step: callers attach observers (e.g. the race detector) to st first.
 func Record(st *vm.State, base vm.Controller, budget int64) (*Trace, vm.RunResult) {
+	return RecordWith(st, base, budget, nil)
+}
+
+// RecordWith is Record with an interrupt hook: when interrupt is non-nil
+// and reports true the recording stops with vm.StopCancelled, returning
+// the (partial) trace recorded so far. This is how a context deadline
+// aborts the detection phase.
+func RecordWith(st *vm.State, base vm.Controller, budget int64, interrupt func() bool) (*Trace, vm.RunResult) {
 	t := &Trace{
 		Args:   append([]int64(nil), st.Args...),
 		Inputs: append([]int64(nil), st.In.Values...),
 	}
 	m := vm.NewMachine(st, NewRecorder(base, t))
+	m.Interrupt = interrupt
 	res := m.Run(budget)
 	return t, res
 }

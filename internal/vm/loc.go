@@ -138,11 +138,16 @@ const (
 	StopBudget
 	// StopBreak: a breakpoint fired; the machine can be resumed.
 	StopBreak
+	// StopCancelled: Machine.Interrupt reported cancellation (a
+	// context deadline or cancel propagated by the orchestrator). The
+	// run can be resumed if the interrupt condition clears.
+	StopCancelled
 )
 
 var stopNames = map[StopKind]string{
 	StopFinished: "finished", StopDeadlock: "deadlock", StopStuck: "stuck",
 	StopError: "error", StopBudget: "budget", StopBreak: "breakpoint",
+	StopCancelled: "cancelled",
 }
 
 // String names the stop kind.

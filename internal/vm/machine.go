@@ -78,6 +78,12 @@ type Machine struct {
 	SpinTrack bool
 	spin      map[int]*spinInfo
 
+	// Interrupt, when non-nil, is polled periodically during Run (and
+	// once on entry); when it reports true the run stops with
+	// StopCancelled. This is how context cancellation reaches the
+	// interpreter's budget loop without the vm depending on context.
+	Interrupt func() bool
+
 	// suppress re-asking the controller for the point it just chose
 	skipTID   int
 	skipInstr int64
@@ -106,12 +112,24 @@ func (m *Machine) pick(runnable []int) {
 	m.skipInstr = m.St.Threads[t].Instrs
 }
 
+// interruptStride is how many loop iterations pass between Interrupt
+// polls; cancellation latency is bounded by this many instructions.
+const interruptStride = 256
+
 // Run executes until the program finishes, fails, deadlocks, hits a
-// breakpoint, or exhausts the budget (budget < 0 means unlimited).
+// breakpoint, is interrupted, or exhausts the budget (budget < 0 means
+// unlimited).
 func (m *Machine) Run(budget int64) RunResult {
 	st := m.St
 	var steps int64
+	var tick int64
 	for {
+		if m.Interrupt != nil {
+			if tick%interruptStride == 0 && m.Interrupt() {
+				return RunResult{Kind: StopCancelled, Steps: steps}
+			}
+			tick++
+		}
 		if st.Failure != nil {
 			return RunResult{Kind: StopError, Err: st.Failure, Steps: steps}
 		}

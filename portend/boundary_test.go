@@ -1,0 +1,77 @@
+package portend_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestNoDirectInternalCoreConsumers enforces the API boundary of the
+// redesign: the portend facade is the only package outside internal/
+// allowed to import internal/core (or the engine's other internals). It
+// inspects `go list -deps` over the commands and examples, checking the
+// direct imports of every non-internal package in their dependency
+// closures.
+func TestNoDirectInternalCoreConsumers(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not available")
+	}
+
+	cmd := exec.Command(goBin, "list", "-deps",
+		"-f", `{{.ImportPath}}|{{join .Imports ","}}`,
+		"./cmd/...", "./examples/...")
+	cmd.Dir = ".." // module root
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("go list -deps: %v\n%s", err, out)
+	}
+
+	// Engine packages no one outside internal/ (except the facade) may
+	// import directly.
+	engine := map[string]bool{
+		"repro/internal/core":    true,
+		"repro/internal/race":    true,
+		"repro/internal/explore": true,
+		"repro/internal/solver":  true,
+	}
+
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		path, imports, ok := strings.Cut(line, "|")
+		if !ok || !strings.HasPrefix(path, "repro") {
+			continue // stdlib
+		}
+		if strings.Contains(path, "/internal/") || path == "repro/portend" {
+			continue // the engine itself, and the one sanctioned facade
+		}
+		for _, imp := range strings.Split(imports, ",") {
+			if engine[imp] {
+				t.Errorf("package %s imports %s directly; consume the public repro/portend facade instead", path, imp)
+			}
+		}
+	}
+}
+
+// TestExamplesUseOnlyPublicAPI holds the examples to the stricter bar:
+// no repro/internal imports at all — they are the documentation of the
+// public surface.
+func TestExamplesUseOnlyPublicAPI(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not available")
+	}
+	cmd := exec.Command(goBin, "list", "-f", `{{.ImportPath}}|{{join .Imports ","}}`, "./examples/...")
+	cmd.Dir = ".."
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("go list: %v\n%s", err, out)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		path, imports, _ := strings.Cut(line, "|")
+		for _, imp := range strings.Split(imports, ",") {
+			if strings.HasPrefix(imp, "repro/internal/") {
+				t.Errorf("example %s imports %s; examples must use only repro/portend", path, imp)
+			}
+		}
+	}
+}

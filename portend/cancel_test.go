@@ -1,0 +1,139 @@
+package portend_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/portend"
+)
+
+// TestAlreadyCancelled asserts the context contract's first half: a
+// context that is cancelled before the call returns immediately with
+// context.Canceled and no verdicts.
+func TestAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	a := portend.New(portend.WithParallel(4))
+	target := portend.Workload("pbzip2")
+
+	start := time.Now()
+	rep, err := a.AnalyzeAll(ctx, target)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("AnalyzeAll error = %v, want context.Canceled", err)
+	}
+	if rep == nil || len(rep.Verdicts) != 0 {
+		t.Fatalf("expected an empty partial report, got %+v", rep)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("already-cancelled ctx took %v to return", d)
+	}
+
+	var last error
+	n := 0
+	for _, err := range a.Analyze(ctx, target) {
+		last = err
+		n++
+	}
+	if n != 1 || !errors.Is(last, context.Canceled) {
+		t.Fatalf("Analyze yielded %d outcomes, last err %v; want a single context.Canceled", n, last)
+	}
+}
+
+// slowRaceSrc races early and then grinds through a long concrete loop,
+// so classification (replay continuation, alternate completion, Mp
+// primaries, Ma alternates) dominates the analysis by a wide margin —
+// a deadline set to a fraction of the measured full-run time reliably
+// fires inside the multi-path multi-schedule worklist.
+const slowRaceSrc = `
+var g = 0
+fn peer() {
+	g = 5
+}
+fn main() {
+	let t = spawn peer()
+	yield()
+	g = 5
+	let acc = 0
+	for i = 0, 300000 { acc = acc + 1 }
+	join(t)
+	print("acc=", acc)
+}`
+
+// deadlineMidRun calibrates a deadline against an unbounded run at the
+// given pool width, then asserts the deadline aborts the detector's
+// budget loop, the exploration engine, and the solver without
+// deadlocking the pool, surfacing context.DeadlineExceeded with only
+// fully classified races in the partial report. Run under -race this
+// also checks the teardown's synchronization.
+func deadlineMidRun(t *testing.T, parallel int) {
+	target := portend.Source("slow-race", slowRaceSrc)
+	a := portend.New(portend.WithParallel(parallel))
+
+	start := time.Now()
+	if _, err := a.AnalyzeAll(context.Background(), target); err != nil {
+		t.Fatalf("calibration run: %v", err)
+	}
+	full := time.Since(start)
+	if full < 10*time.Millisecond {
+		t.Skipf("analysis finished in %v; too fast to interrupt reliably", full)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), full/4)
+	defer cancel()
+	done := make(chan struct{})
+	var rep *portend.Report
+	var err error
+	go func() {
+		rep, err = a.AnalyzeAll(ctx, target)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("deadline did not abort the analysis: worker pool likely deadlocked")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("AnalyzeAll error = %v, want context.DeadlineExceeded (full run %v, deadline %v)", err, full, full/4)
+	}
+	if rep == nil {
+		t.Fatal("expected a partial report alongside the deadline error")
+	}
+	for _, v := range rep.Verdicts {
+		if v.Race.ID == "" {
+			t.Errorf("partial report contains a half-built verdict: %+v", v)
+		}
+	}
+}
+
+func TestDeadlineMidRun(t *testing.T) { deadlineMidRun(t, 4) }
+
+// TestDeadlineMidRunSequential drives the same abort through the
+// sequential (inline) engine, which takes a different code path than the
+// worker pool.
+func TestDeadlineMidRunSequential(t *testing.T) { deadlineMidRun(t, 1) }
+
+// TestExecCancelled: the concrete-execution path honours cancellation too.
+func TestExecCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := portend.Exec(ctx, portend.Workload("ocean"), -1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Exec error = %v, want context.Canceled", err)
+	}
+	if res == nil || res.Stop != "cancelled" {
+		t.Fatalf("Exec result = %+v, want Stop=cancelled", res)
+	}
+}
+
+// TestWhatIfCancelled: the what-if path propagates cancellation.
+func TestWhatIfCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := portend.New().WhatIf(ctx, portend.Workload("memcached"))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("WhatIf error = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,42 @@
+package portend
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors. Terminal failures returned by Analyze/AnalyzeAll wrap
+// exactly one of these (or a context error), so callers branch with
+// errors.Is; per-race classification failures are reported as *RaceError
+// instead and do not terminate a run.
+var (
+	// ErrBadTarget: the target cannot be resolved (unreadable file,
+	// nil program, zero Target).
+	ErrBadTarget = errors.New("portend: invalid target")
+	// ErrUnknownWorkload: Workload() named no built-in workload.
+	ErrUnknownWorkload = errors.New("portend: unknown workload")
+	// ErrParse: the target's PIL source does not parse.
+	ErrParse = errors.New("portend: parse error")
+	// ErrCompile: the target's PIL source does not compile.
+	ErrCompile = errors.New("portend: compile error")
+	// ErrNoWhatIf: what-if analysis needs source plus designated
+	// synchronization lines; the target supplies neither.
+	ErrNoWhatIf = errors.New("portend: target has no what-if synchronization lines")
+)
+
+// RaceError reports that one race failed to classify (for example,
+// because its replay could not reach the racing access again). Other
+// races of the same run are unaffected: Analyze keeps streaming and
+// AnalyzeAll records the message in Report.Errors.
+type RaceError struct {
+	RaceID string
+	Err    error
+}
+
+// Error implements the error interface.
+func (e *RaceError) Error() string {
+	return fmt.Sprintf("race %s: classification failed: %v", e.RaceID, e.Err)
+}
+
+// Unwrap exposes the underlying classification error.
+func (e *RaceError) Unwrap() error { return e.Err }

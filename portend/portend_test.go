@@ -1,0 +1,281 @@
+package portend_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+	"repro/portend"
+)
+
+// renderCore renders everything user-visible about an engine result, for
+// byte-level comparison (mirrors the top-level determinism test).
+func renderCore(res *core.Result) string {
+	var b strings.Builder
+	for _, v := range res.Verdicts {
+		b.WriteString(v.Race.ID())
+		b.WriteString("  ")
+		b.WriteString(v.String())
+		b.WriteString("\n")
+		b.WriteString(v.Report(res.Prog))
+		b.WriteString("\n")
+	}
+	for _, err := range res.Errors {
+		b.WriteString("error: ")
+		b.WriteString(err.Error())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// renderFacade renders streamed facade outcomes in arrival order with the
+// same shape as renderCore.
+func renderFacade(vs []portend.Verdict, errs []error) string {
+	var b strings.Builder
+	for _, v := range vs {
+		b.WriteString(v.Race.ID)
+		b.WriteString("  ")
+		b.WriteString(v.String())
+		b.WriteString("\n")
+		b.WriteString(v.DebugReport())
+		b.WriteString("\n")
+	}
+	for _, err := range errs {
+		var re *portend.RaceError
+		if errors.As(err, &re) {
+			b.WriteString("error: ")
+			b.WriteString(re.RaceID)
+			b.WriteString(": ")
+			b.WriteString(re.Err.Error())
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// TestFacadeMatchesEngine asserts the redesign's acceptance criterion:
+// for every built-in workload, the streaming path and the batch path
+// produce verdict sets byte-identical to the pre-redesign core.Run —
+// at more than one parallelism width.
+func TestFacadeMatchesEngine(t *testing.T) {
+	for _, w := range workloads.All() {
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			p := w.Compile()
+			opts := core.DefaultOptions()
+			opts.Parallel = 1
+			want := renderCore(core.Run(p, w.Args, w.Inputs, opts))
+
+			for _, parallel := range []int{1, 8} {
+				a := portend.New(portend.WithParallel(parallel))
+				target := portend.Compiled(w.Name, w.Compile()).
+					WithArgs(w.Args...).WithInputs(w.Inputs...)
+
+				// Streaming path.
+				var vs []portend.Verdict
+				var errs []error
+				for v, err := range a.Analyze(context.Background(), target) {
+					if err != nil {
+						var re *portend.RaceError
+						if !errors.As(err, &re) {
+							t.Fatalf("parallel=%d: terminal stream error: %v", parallel, err)
+						}
+						errs = append(errs, err)
+						continue
+					}
+					vs = append(vs, v)
+				}
+				if got := renderFacade(vs, errs); got != want {
+					t.Errorf("parallel=%d: streaming verdicts differ from core.Run\n--- core ---\n%s\n--- stream ---\n%s", parallel, want, got)
+				}
+
+				// Batch path.
+				rep, err := a.AnalyzeAll(context.Background(), target)
+				if err != nil {
+					t.Fatalf("parallel=%d: AnalyzeAll: %v", parallel, err)
+				}
+				var batchErrs []error
+				for _, raw := range rep.Raw().Errors {
+					batchErrs = append(batchErrs, raw)
+				}
+				got := renderCore(rep.Raw())
+				if got != want {
+					t.Errorf("parallel=%d: batch verdicts differ from core.Run\n--- core ---\n%s\n--- batch ---\n%s", parallel, want, got)
+				}
+				_ = batchErrs
+			}
+		})
+	}
+}
+
+const twoRaceSrc = `
+var idx = 4
+var arr[4]
+var gen = 0
+fn worker() {
+	idx = 1
+	gen = 7
+}
+fn main() {
+	let t = spawn worker()
+	yield()
+	arr[idx] = 99
+	gen = 7
+	join(t)
+	print("done gen=", gen)
+}`
+
+func TestAnalyzeEarlyStop(t *testing.T) {
+	a := portend.New(portend.WithParallel(4))
+	seen := 0
+	for _, err := range a.Analyze(context.Background(), portend.Source("two-race", twoRaceSrc)) {
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		seen++
+		break // cancel the rest of the run
+	}
+	if seen != 1 {
+		t.Fatalf("expected to observe exactly 1 verdict before break, got %d", seen)
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	a := portend.New()
+	rep, err := a.AnalyzeAll(context.Background(), portend.Source("two-race", twoRaceSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Verdicts) != 2 {
+		t.Fatalf("expected 2 verdicts, got %d", len(rep.Verdicts))
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Target   string `json:"target"`
+		Races    int    `json:"races"`
+		Verdicts []struct {
+			Race struct {
+				ID     string `json:"id"`
+				Object string `json:"object"`
+			} `json:"race"`
+			Class string `json:"class"`
+		} `json:"verdicts"`
+	}
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if decoded.Target != "two-race" || decoded.Races != 2 {
+		t.Errorf("unexpected report header: %+v", decoded)
+	}
+	classes := map[string]bool{}
+	for _, v := range decoded.Verdicts {
+		if v.Race.ID == "" || v.Race.Object == "" {
+			t.Errorf("verdict missing race coordinates: %+v", v)
+		}
+		classes[v.Class] = true
+	}
+	if !classes["specViol"] {
+		t.Errorf("expected a specViol verdict in %v", classes)
+	}
+}
+
+func TestTriageAndByClass(t *testing.T) {
+	a := portend.New()
+	rep, err := a.AnalyzeAll(context.Background(), portend.Source("two-race", twoRaceSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := rep.Triage()
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1].Class.Rank() > sorted[i].Class.Rank() {
+			t.Errorf("triage order violated at %d: %s after %s", i, sorted[i].Class, sorted[i-1].Class)
+		}
+	}
+	total := 0
+	for _, vs := range rep.ByClass() {
+		total += len(vs)
+	}
+	if total != len(rep.Verdicts) {
+		t.Errorf("ByClass lost verdicts: %d != %d", total, len(rep.Verdicts))
+	}
+}
+
+func TestTargetErrors(t *testing.T) {
+	ctx := context.Background()
+	a := portend.New()
+
+	cases := []struct {
+		name   string
+		target portend.Target
+		want   error
+	}{
+		{"unknown workload", portend.Workload("no-such-workload"), portend.ErrUnknownWorkload},
+		{"parse error", portend.Source("bad", "fn main( {"), portend.ErrParse},
+		{"zero target", portend.Target{}, portend.ErrBadTarget},
+		{"nil program", portend.Compiled("nil", nil), portend.ErrBadTarget},
+		{"missing file", portend.File("/no/such/file.pil"), portend.ErrBadTarget},
+	}
+	for _, tc := range cases {
+		if _, err := a.AnalyzeAll(ctx, tc.target); !errors.Is(err, tc.want) {
+			t.Errorf("%s: AnalyzeAll error = %v, want %v", tc.name, err, tc.want)
+		}
+		// The streaming path must surface the same terminal error.
+		var streamErr error
+		for _, err := range a.Analyze(ctx, tc.target) {
+			streamErr = err
+		}
+		if !errors.Is(streamErr, tc.want) {
+			t.Errorf("%s: Analyze error = %v, want %v", tc.name, streamErr, tc.want)
+		}
+	}
+
+	if _, err := a.WhatIf(ctx, portend.Source("no-lines", twoRaceSrc)); !errors.Is(err, portend.ErrNoWhatIf) {
+		t.Errorf("WhatIf without lines = %v, want ErrNoWhatIf", err)
+	}
+}
+
+func TestWorkloadTargetMatchesCLIBehavior(t *testing.T) {
+	// Workload targets attach the workload's canonical args, inputs and
+	// predicates — the same configuration cmd/portend used to assemble
+	// by hand from internal packages.
+	names := portend.WorkloadNames()
+	if len(names) == 0 {
+		t.Fatal("no workloads")
+	}
+	a := portend.New()
+	rep, err := a.AnalyzeAll(context.Background(), portend.Workload(names[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Target != names[0] {
+		t.Errorf("target name %q, want %q", rep.Target, names[0])
+	}
+}
+
+func TestExecAndDisassemble(t *testing.T) {
+	ctx := context.Background()
+	res, err := portend.Exec(ctx, portend.Workload("rw"), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stop != "finished" || res.Steps == 0 {
+		t.Errorf("unexpected exec result: %+v", res)
+	}
+	if res.Failed() {
+		t.Errorf("rw workload should not fail: %+v", res)
+	}
+	text, err := portend.Disassemble(portend.Workload("rw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "main") {
+		t.Errorf("disassembly looks wrong: %q", text[:min(len(text), 80)])
+	}
+}

@@ -268,6 +268,35 @@ func BenchmarkVM_DetectionOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkCheckpoint_SharedReplay measures the shared replay-checkpoint
+// store and memoizing solver cache on the workload shape they exist for:
+// many races strung along one long trace, where every classification
+// without reuse re-interprets the whole prefix (O(races × prefix)) and
+// with reuse resumes from the nearest prior race's snapshot (O(prefix)).
+// The caches-off arm is the honest baseline — identical verdicts,
+// no reuse.
+func BenchmarkCheckpoint_SharedReplay(b *testing.B) {
+	src := workloads.ManyRaceSource(24, 8000)
+	w := &workloads.Workload{Name: "many-race", Source: src, Inputs: []int64{3}}
+	p := w.Compile()
+	for _, noCache := range []bool{false, true} {
+		name := "caches=on"
+		if noCache {
+			name = "caches=off"
+		}
+		opts := core.DefaultOptions()
+		opts.NoCache = noCache
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := core.Run(p, nil, w.Inputs, opts)
+				if len(res.Errors) != 0 {
+					b.Fatalf("classification errors: %v", res.Errors)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkVM_Checkpoint measures State.Clone, the primitive behind
 // Algorithm 1's checkpoints and Algorithm 2's forking.
 func BenchmarkVM_Checkpoint(b *testing.B) {

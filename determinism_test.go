@@ -30,12 +30,15 @@ func renderResult(p *bytecode.Program, res *core.Result) string {
 	return b.String()
 }
 
-// TestParallelDeterminism asserts the acceptance criterion of the
-// parallel engine: for every built-in workload, a fully sequential run
-// (-parallel 1) and a fanned-out run (-parallel 8) produce byte-
-// identical verdicts and reports. Run under -race this also exercises
-// the engine's synchronization: shared solver, shared fork budget, and
-// concurrent cloning of the pre-race checkpoints.
+// TestParallelDeterminism asserts the acceptance criteria of the
+// parallel and shared-replay engines together: for every built-in
+// workload, verdicts and reports are byte-identical across a fully
+// sequential run (-parallel 1), a fanned-out run (-parallel 8), and —
+// at both widths — runs with the reuse caches (replay checkpoint store,
+// solver memo) disabled. Run under -race this also exercises the
+// engine's synchronization: shared solver and its cache, shared fork
+// budget, concurrent cloning of pre-race checkpoints, and concurrent
+// access to the checkpoint store.
 func TestParallelDeterminism(t *testing.T) {
 	for _, w := range workloads.All() {
 		w := w
@@ -43,21 +46,32 @@ func TestParallelDeterminism(t *testing.T) {
 			t.Parallel()
 			p := w.Compile()
 
-			optsFor := func(parallel int) core.Options {
+			optsFor := func(parallel int, noCache bool) core.Options {
 				opts := core.DefaultOptions()
 				opts.Parallel = parallel
+				opts.NoCache = noCache
 				if w.Predicates != nil {
 					opts.Predicates = w.Predicates(p)
 				}
 				return opts
 			}
 
-			seq := renderResult(p, core.Run(p, w.Args, w.Inputs, optsFor(1)))
-			par := renderResult(p, core.Run(p, w.Args, w.Inputs, optsFor(8)))
-			if seq != par {
-				t.Errorf("verdicts differ between -parallel 1 and -parallel 8\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+			want := renderResult(p, core.Run(p, w.Args, w.Inputs, optsFor(1, false)))
+			for _, cfg := range []struct {
+				name     string
+				parallel int
+				noCache  bool
+			}{
+				{"parallel=8 caches=on", 8, false},
+				{"parallel=1 caches=off", 1, true},
+				{"parallel=8 caches=off", 8, true},
+			} {
+				got := renderResult(p, core.Run(p, w.Args, w.Inputs, optsFor(cfg.parallel, cfg.noCache)))
+				if got != want {
+					t.Errorf("verdicts differ between -parallel 1 caches=on and %s\n--- want ---\n%s\n--- got ---\n%s", cfg.name, want, got)
+				}
 			}
-			if seq == "" {
+			if want == "" {
 				t.Logf("workload %s produced no verdicts", w.Name)
 			}
 		})

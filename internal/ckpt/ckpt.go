@@ -1,0 +1,154 @@
+// Package ckpt implements the shared replay-checkpoint store behind
+// Portend's classification engine.
+//
+// Every race classification replays the recorded schedule trace from the
+// program's initial state to the race's first racing access (Algorithm 1
+// lines 1–4). Replay is deterministic — the same trace position and the
+// same machine state always produce the same continuation — so the
+// concrete state reached at one race's pre-race point is a valid starting
+// point for any later race's replay. The store exploits that: replays
+// snapshot the parked state (plus the replay controller's position) at
+// each distinct pre-race point, and subsequent replays resume from the
+// nearest prior snapshot instead of the root, turning the O(R ×
+// trace-length) cost of classifying R races into roughly one pass over
+// the trace.
+//
+// Entries are immutable after Add: both Add and Resume hand out deep
+// clones (vm.State.Clone and vm.CloneableController.CloneCtl), so any
+// number of classification workers can resume from one entry
+// concurrently. Correctness requirements — the snapshot must lie on the
+// recorded replay path, and its observers must carry everything the
+// resuming analysis needs about the skipped prefix — are the caller's
+// responsibility; the accept callback of Resume is where the caller
+// rejects entries whose prefix it cannot reconstruct.
+package ckpt
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/vm"
+)
+
+// entry is one stored snapshot: the state parked at a replay point and
+// the controller that drives its continuation.
+type entry struct {
+	steps int64
+	state *vm.State
+	ctl   vm.CloneableController
+}
+
+// Store holds replay checkpoints for one recorded trace, ordered by the
+// global instruction count at which they were taken. It is safe for
+// concurrent use by the parallel classification engine.
+type Store struct {
+	mu      sync.Mutex
+	entries []entry // sorted by steps, ascending
+	max     int
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewStore returns a store bounded to max entries (<= 0 means the
+// default of 64). When full, further Adds are dropped: the store is a
+// cache, never an obligation.
+func NewStore(max int) *Store {
+	if max <= 0 {
+		max = 64
+	}
+	return &Store{max: max}
+}
+
+// Len returns the number of stored checkpoints.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Hits returns how many Resume calls found a usable checkpoint.
+func (s *Store) Hits() int { return int(s.hits.Load()) }
+
+// Misses returns how many Resume calls fell back to a full replay.
+func (s *Store) Misses() int { return int(s.misses.Load()) }
+
+// Add snapshots st (at st.Steps) together with its controller. Both are
+// deep-cloned, so the caller keeps running its own copies untouched. An
+// entry at the same step count already present, or a full store, makes
+// Add a no-op.
+func (s *Store) Add(st *vm.State, ctl vm.CloneableController) {
+	steps := st.Steps
+	s.mu.Lock()
+	if len(s.entries) >= s.max {
+		s.mu.Unlock()
+		return
+	}
+	i := s.search(steps)
+	if i < len(s.entries) && s.entries[i].steps == steps {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+
+	// Clone outside the lock: cloning only reads st, and a racing Add of
+	// the same step is harmless (the second insert is dropped below).
+	e := entry{steps: steps, state: st.Clone(), ctl: ctl.CloneCtl().(vm.CloneableController)}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.entries) >= s.max {
+		return
+	}
+	i = s.search(steps)
+	if i < len(s.entries) && s.entries[i].steps == steps {
+		return
+	}
+	s.entries = append(s.entries, entry{})
+	copy(s.entries[i+1:], s.entries[i:])
+	s.entries[i] = e
+}
+
+// search returns the insertion index for steps (first entry >= steps).
+// Caller must hold s.mu.
+func (s *Store) search(steps int64) int {
+	lo, hi := 0, len(s.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.entries[mid].steps < steps {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Resume returns a private clone of the latest checkpoint taken at or
+// before limit that the accept callback approves, together with a cloned
+// controller and the checkpoint's step count. accept (nil means "accept
+// everything") inspects the stored state read-only — this is where the
+// caller verifies the skipped prefix is reconstructible (observer state,
+// symbolic-input safety). ok is false when no entry qualifies.
+func (s *Store) Resume(limit int64, accept func(*vm.State) bool) (st *vm.State, ctl vm.Controller, steps int64, ok bool) {
+	s.mu.Lock()
+	var found entry
+	for i := s.search(limit+1) - 1; i >= 0; i-- {
+		e := s.entries[i]
+		if accept == nil || accept(e.state) {
+			found = e
+			ok = true
+			break
+		}
+	}
+	s.mu.Unlock()
+
+	if !ok {
+		s.misses.Add(1)
+		return nil, nil, 0, false
+	}
+	s.hits.Add(1)
+	// Clone outside the lock; entries are immutable and State.Clone is
+	// safe for concurrent readers.
+	return found.state.Clone(), found.ctl.CloneCtl(), found.steps, true
+}

@@ -1,0 +1,137 @@
+package ckpt
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/vm"
+)
+
+const src = `
+var g = 0
+fn main() {
+	for i = 0, 100 { g = g + 1 }
+	print("g=", g)
+}`
+
+// stateAt runs the program for the given number of steps and returns the
+// parked state.
+func stateAt(t *testing.T, steps int64) *vm.State {
+	t.Helper()
+	p := bytecode.MustCompile(src, "ckpttest", bytecode.Options{})
+	st := vm.NewState(p, nil, nil)
+	res := vm.NewMachine(st, vm.NewRoundRobin()).Run(steps)
+	if res.Kind != vm.StopBudget {
+		t.Fatalf("run stopped early: %v", res.Kind)
+	}
+	return st
+}
+
+func TestStoreNearestResume(t *testing.T) {
+	s := NewStore(8)
+	for _, n := range []int64{40, 10, 30} { // out-of-order inserts
+		s.Add(stateAt(t, n), vm.NewRoundRobin())
+	}
+	if s.Len() != 3 {
+		t.Fatalf("store len = %d, want 3", s.Len())
+	}
+
+	st, ctl, steps, ok := s.Resume(35, nil)
+	if !ok || steps != 30 {
+		t.Fatalf("Resume(35) = steps %d ok %v, want 30 true", steps, ok)
+	}
+	if st.Steps != 30 || ctl == nil {
+		t.Fatalf("resumed state at %d steps, want 30", st.Steps)
+	}
+
+	if _, _, steps, ok = s.Resume(40, nil); !ok || steps != 40 {
+		t.Fatalf("Resume(40) = steps %d ok %v, want exact-match 40 true", steps, ok)
+	}
+	if _, _, _, ok = s.Resume(5, nil); ok {
+		t.Fatal("Resume(5) found an entry although none is <= 5")
+	}
+	if h, m := s.Hits(), s.Misses(); h != 2 || m != 1 {
+		t.Errorf("hits/misses = %d/%d, want 2/1", h, m)
+	}
+}
+
+func TestStoreResumeIsolation(t *testing.T) {
+	s := NewStore(4)
+	orig := stateAt(t, 20)
+	s.Add(orig, vm.NewRoundRobin())
+
+	// Mutating the original after Add must not leak into the store.
+	vm.NewMachine(orig, vm.NewRoundRobin()).Run(10)
+
+	st, _, _, ok := s.Resume(20, nil)
+	if !ok {
+		t.Fatal("no entry")
+	}
+	if st.Steps != 20 {
+		t.Fatalf("stored entry shares state with the caller: Steps = %d, want 20", st.Steps)
+	}
+	// Two resumes hand out distinct clones.
+	st2, _, _, _ := s.Resume(20, nil)
+	vm.NewMachine(st, vm.NewRoundRobin()).Run(5)
+	if st2.Steps != 20 {
+		t.Fatal("resumed clones share state")
+	}
+}
+
+func TestStoreAcceptAndDedup(t *testing.T) {
+	s := NewStore(8)
+	s.Add(stateAt(t, 10), vm.NewRoundRobin())
+	s.Add(stateAt(t, 10), vm.NewRoundRobin()) // duplicate step: dropped
+	s.Add(stateAt(t, 20), vm.NewRoundRobin())
+	if s.Len() != 2 {
+		t.Fatalf("dedup failed: len = %d, want 2", s.Len())
+	}
+
+	// accept rejecting the nearest entry falls back to an earlier one.
+	st, _, steps, ok := s.Resume(25, func(st *vm.State) bool { return st.Steps < 15 })
+	if !ok || steps != 10 || st.Steps != 10 {
+		t.Fatalf("accept-filtered resume = steps %d ok %v, want 10 true", steps, ok)
+	}
+	if _, _, _, ok = s.Resume(25, func(*vm.State) bool { return false }); ok {
+		t.Fatal("Resume succeeded although accept rejected everything")
+	}
+}
+
+func TestStoreCapacity(t *testing.T) {
+	s := NewStore(2)
+	for _, n := range []int64{10, 20, 30} {
+		s.Add(stateAt(t, n), vm.NewRoundRobin())
+	}
+	if s.Len() != 2 {
+		t.Fatalf("cap ignored: len = %d, want 2", s.Len())
+	}
+	if _, _, steps, ok := s.Resume(100, nil); !ok || steps != 20 {
+		t.Fatalf("Resume after cap = steps %d ok %v, want 20 true", steps, ok)
+	}
+}
+
+// TestStoreConcurrent exercises Add/Resume races under -race.
+func TestStoreConcurrent(t *testing.T) {
+	s := NewStore(16)
+	base := stateAt(t, 25)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if i%3 == 0 {
+					s.Add(base, vm.NewRoundRobin())
+				}
+				if st, _, _, ok := s.Resume(int64(25+i), nil); ok && st.Steps != 25 {
+					t.Errorf("bad resume: %d", st.Steps)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 1 {
+		t.Fatalf("concurrent duplicate Adds leaked: len = %d, want 1", s.Len())
+	}
+}

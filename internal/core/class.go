@@ -142,6 +142,27 @@ type Options struct {
 	// MaxForks bounds state forking during multi-path exploration.
 	MaxForks int
 
+	// MaxQueuedForks bounds the pending-sibling queue of the multi-path
+	// worklist; forks arriving at a full queue are dropped and counted in
+	// Stats.TruncatedPaths. Values <= 0 mean the default (128).
+	MaxQueuedForks int
+
+	// MaxPathItems bounds how many worklist items one race's multi-path
+	// exploration processes; items abandoned when the cap stops the
+	// search short of Mp primaries are counted in Stats.TruncatedPaths.
+	// Values <= 0 derive the paper-era default 4*Mp + 32.
+	MaxPathItems int
+
+	// MaxCheckpoints bounds the shared replay-checkpoint store (one full
+	// state clone per entry). Values <= 0 mean the default (64).
+	MaxCheckpoints int
+
+	// NoCache disables the shared replay-checkpoint store and the
+	// memoizing solver cache. Verdicts are byte-identical with the caches
+	// on or off (asserted by the determinism suite); the gate exists for
+	// that assertion and for ablation timing.
+	NoCache bool
+
 	// Feature gates (Fig 7): ad-hoc synchronization detection, multi-path
 	// analysis, multi-schedule analysis, symbolic output comparison.
 	AdHocDetection bool
@@ -155,8 +176,18 @@ type Options struct {
 	// Solver tunes the constraint solver budget.
 	Solver solver.Options
 
-	// Seed seeds the randomized alternate schedules.
+	// Seed seeds the randomized alternate schedules. A zero Seed is the
+	// default seed unless SeedSet marks it as explicitly chosen.
 	Seed uint64
+
+	// SeedSet marks Seed as explicitly chosen, letting callers pin seed
+	// 0; without it a zero Seed falls back to DefaultOptions().Seed.
+	SeedSet bool
+
+	// shared carries the per-run caches (replay checkpoints, solver
+	// memo) that RunStream threads through every classifier it builds.
+	// nil lets each Classifier create its own private set.
+	shared *sharedCaches
 
 	// Parallel is the worker-pool width of the classification engine:
 	// races classify concurrently in Run, and within one race the
@@ -179,6 +210,10 @@ func DefaultOptions() Options {
 		EnforceBudget:  300_000,
 		RunBudget:      3_000_000,
 		MaxForks:       64,
+		MaxQueuedForks: 128,
+		MaxCheckpoints: 64,
+		// MaxPathItems stays 0: it derives from the effective Mp (4*Mp+32)
+		// at Classifier construction.
 		AdHocDetection: true,
 		MultiPath:      true,
 		MultiSchedule:  true,
@@ -187,14 +222,32 @@ func DefaultOptions() Options {
 	}
 }
 
-// Stats instruments one classification (Fig 9's axes).
+// Stats instruments one classification (Fig 9's axes, plus the cache
+// and truncation accounting of the shared-replay engine).
 type Stats struct {
 	Preemptions   int // scheduling decisions in the recorded trace
 	Branches      int // symbolic ("dependent") branches encountered
 	SolverQueries int
 	PrimaryPaths  int
 	Alternates    int
-	Duration      time.Duration
+
+	// CheckpointHits counts replays of this classification that resumed
+	// from the shared checkpoint store instead of the program's initial
+	// state; SolverCacheHits counts solver queries answered from the
+	// shared memo. Both depend on cache warmth (what earlier — possibly
+	// concurrent — classifications populated), so unlike the verdict
+	// itself they may vary with pool width.
+	CheckpointHits  int
+	SolverCacheHits int
+
+	// TruncatedPaths counts exploration the multi-path phase gave up on:
+	// forked siblings dropped at the queue cap plus worklist items
+	// abandoned when the item cap ended the search short of Mp primaries.
+	// A non-zero count means a k-witness verdict's coverage claim is
+	// narrower than the configuration asked for.
+	TruncatedPaths int
+
+	Duration time.Duration
 }
 
 // OutputDivergence is the evidence attached to an "output differs"

@@ -19,6 +19,13 @@ type Classifier struct {
 	Opts Options
 	sol  *solver.Solver
 
+	// shared is the run-wide reuse machinery (replay checkpoints, solver
+	// memo); nil when Options.NoCache disabled it. ckptHits counts this
+	// classifier's replays that resumed from a checkpoint; it is only
+	// touched from the goroutine driving ClassifyCtx.
+	shared   *sharedCaches
+	ckptHits int
+
 	// ctx/interrupt carry ClassifyCtx's cancellation to every machine,
 	// exploration loop, and solver query the classification spawns.
 	// They are set once per ClassifyCtx call, before any concurrent
@@ -43,6 +50,9 @@ func (c *Classifier) newMachine(st *vm.State, ctl vm.Controller) *vm.Machine {
 }
 
 // New returns a classifier; zero fields of opts fall back to defaults.
+// A Seed of 0 is treated as "unset" only when opts.SeedSet is false —
+// callers that mark the seed explicit can pin seed 0 and have it
+// round-trip unchanged.
 func New(prog *bytecode.Program, opts Options) *Classifier {
 	d := DefaultOptions()
 	if opts.Mp <= 0 {
@@ -60,10 +70,22 @@ func New(prog *bytecode.Program, opts Options) *Classifier {
 	if opts.MaxForks <= 0 {
 		opts.MaxForks = d.MaxForks
 	}
-	if opts.Seed == 0 {
+	if opts.MaxQueuedForks <= 0 {
+		opts.MaxQueuedForks = d.MaxQueuedForks
+	}
+	if opts.MaxPathItems <= 0 {
+		opts.MaxPathItems = 4*opts.Mp + 32
+	}
+	if opts.Seed == 0 && !opts.SeedSet {
 		opts.Seed = d.Seed
 	}
-	return &Classifier{Prog: prog, Opts: opts, sol: solver.New(opts.Solver)}
+	shared := opts.shared
+	if shared == nil && !opts.NoCache {
+		shared = newSharedCaches(opts)
+	}
+	sol := solver.New(opts.Solver)
+	sol.Cache = shared.solverCache()
+	return &Classifier{Prog: prog, Opts: opts, sol: sol, shared: shared}
 }
 
 // Classify runs the full Portend analysis on one race report: replay,
@@ -94,6 +116,8 @@ func (c *Classifier) ClassifyCtx(cctx context.Context, rep *race.Report, tr *tra
 
 	start := time.Now()
 	q0 := c.sol.Queries()
+	ch0 := c.sol.CacheHits()
+	k0 := c.ckptHits
 	v := &Verdict{Race: rep, K: 1}
 	v.Stats.Preemptions = len(tr.Decisions)
 
@@ -112,7 +136,7 @@ func (c *Classifier) ClassifyCtx(cctx context.Context, rep *race.Report, tr *tra
 		v.Consequence = a.consequence
 		v.Detail = a.detail
 		v.OutputDiff = a.outDiff
-		c.finishStats(v, nil, q0, start)
+		c.finishStats(v, nil, q0, ch0, k0, start)
 		return v, nil
 	}
 
@@ -121,7 +145,7 @@ func (c *Classifier) ClassifyCtx(cctx context.Context, rep *race.Report, tr *tra
 		// matched — a 1-witness harmless verdict.
 		v.Class = KWitnessHarmless
 		v.K = 1
-		c.finishStats(v, nil, q0, start)
+		c.finishStats(v, nil, q0, ch0, k0, start)
 		return v, nil
 	}
 
@@ -139,16 +163,19 @@ func (c *Classifier) ClassifyCtx(cctx context.Context, rep *race.Report, tr *tra
 			v.K = 1
 		}
 	}
-	c.finishStats(v, mp, q0, start)
+	c.finishStats(v, mp, q0, ch0, k0, start)
 	return v, nil
 }
 
-func (c *Classifier) finishStats(v *Verdict, mp *mpResult, q0 int, start time.Time) {
+func (c *Classifier) finishStats(v *Verdict, mp *mpResult, q0, ch0, k0 int, start time.Time) {
 	v.Stats.SolverQueries = c.sol.Queries() - q0
+	v.Stats.SolverCacheHits = c.sol.CacheHits() - ch0
+	v.Stats.CheckpointHits = c.ckptHits - k0
 	if mp != nil {
 		v.Stats.Branches = mp.branches
 		v.Stats.PrimaryPaths = mp.primaries
 		v.Stats.Alternates = mp.alternates
+		v.Stats.TruncatedPaths = mp.truncated
 	}
 	v.Stats.Duration = time.Since(start)
 }
@@ -175,50 +202,11 @@ type pairCtx struct {
 	spinRead bool
 }
 
-// readCounter counts reads of the racy object per (thread, line) during
-// the primary replay; it identifies busy-wait poll reads.
-type readCounter struct {
-	space  vm.Space
-	obj    int64
-	counts map[[2]int64]int
-}
-
-func newReadCounter(space vm.Space, obj int64) *readCounter {
-	return &readCounter{space: space, obj: obj, counts: map[[2]int64]int{}}
-}
-
-func (rc *readCounter) key(tid int, line int32) [2]int64 {
-	return [2]int64{int64(tid), int64(line)}
-}
-
-// OnAccess implements vm.Observer.
-func (rc *readCounter) OnAccess(st *vm.State, tid int, loc vm.Loc, write bool, pc bytecode.PCRef, tInstr int64) {
-	if write {
-		return
-	}
-	if loc.Space != rc.space {
-		return
-	}
-	if rc.space == vm.SpaceGlobal && loc.Obj != rc.obj {
-		return
-	}
-	rc.counts[rc.key(tid, pc.Line)]++
-}
-
-// OnSync implements vm.Observer (no-op).
-func (rc *readCounter) OnSync(st *vm.State, ev vm.SyncEvent) {}
-
-// CloneObs implements vm.Observer.
-func (rc *readCounter) CloneObs() vm.Observer {
-	n := newReadCounter(rc.space, rc.obj)
-	for k, v := range rc.counts {
-		n.counts[k] = v
-	}
-	return n
-}
-
 // spinReadThreshold: a racing read re-executed at least this many times
-// from one line is considered a busy-wait poll.
+// from one line is considered a busy-wait poll. The counts come from the
+// replay's accessCounter (internal/core/shared.go), which tracks reads
+// for every object class at once so replay states are reusable across
+// races.
 const spinReadThreshold = 4
 
 // newRootState builds the initial state for (re-)execution of the traced
@@ -263,22 +251,55 @@ func accessToObj(in bytecode.Instr, space vm.Space, obj int64) bool {
 // replayToRace replays the trace concretely up to just past the second
 // racing access, checkpointing just before the first (§3.2, Algorithm 1
 // lines 1–4).
+//
+// The replay resumes from the shared checkpoint store when a snapshot at
+// or before the first racing access exists (any snapshot qualifies:
+// entries lie on the recorded replay path and carry the full observer
+// state of their prefix), and it deposits a snapshot of its own pre-race
+// point for later races to resume from. The run budget is charged for
+// the skipped prefix, so a budget-bound replay stops at exactly the same
+// instruction it would have from the root.
 func (c *Classifier) replayToRace(rep *race.Report, tr *trace.Trace) (*pairCtx, error) {
-	st := c.newRootState(tr, false)
-	rc := newReadCounter(rep.Key.Space, rep.Key.Obj)
-	st.Observers = append(st.Observers, rc)
-	repl := trace.NewReplayer(tr, vm.NewRoundRobin())
-	m := c.newMachine(st, repl)
+	var (
+		st     *vm.State
+		ctl    vm.Controller
+		budget = c.Opts.RunBudget
+	)
+	store := c.shared.storeFor(tr)
+	if store != nil && rep.First.Global > 0 {
+		if rst, rctl, steps, ok := store.Resume(rep.First.Global, nil); ok {
+			st, ctl = rst, rctl
+			c.ckptHits++
+			if budget >= 0 {
+				if budget -= steps; budget < 0 {
+					budget = 0
+				}
+			}
+		}
+	}
+	if st == nil {
+		st = c.newRootState(tr, false)
+		st.Observers = append(st.Observers, newAccessCounter())
+		ctl = trace.NewReplayer(tr, vm.NewRoundRobin())
+	}
+	rc := findAccessCounter(st)
+	m := c.newMachine(st, ctl)
 
 	m.Break = breakAtAccess(rep.First.TID, rep.First.TInstr)
-	res := m.Run(c.Opts.RunBudget)
+	res := m.Run(budget)
 	if res.Kind != vm.StopBreak {
 		if err := c.canceled(); err != nil {
 			return nil, err
 		}
 		return nil, fmt.Errorf("portend: replay did not reach first racing access of %s (%v)", rep.ID(), res.Kind)
 	}
+	if store != nil {
+		if cc, ok := ctl.(vm.CloneableController); ok {
+			store.Add(st, cc)
+		}
+	}
 	pre := st.Clone()
+	dropAccessCounter(pre) // enforcement clones need no counting
 
 	m.Break = breakAtAccess(rep.Second.TID, rep.Second.TInstr)
 	res = m.Run(c.Opts.RunBudget)
@@ -297,12 +318,12 @@ func (c *Classifier) replayToRace(rep *race.Report, tr *trace.Trace) (*pairCtx, 
 		firstTID: rep.First.TID, secondTID: rep.Second.TID,
 		space: rep.Key.Space, obj: rep.Key.Obj,
 	}
-	for side, acc := range []race.Access{rep.First, rep.Second} {
-		_ = side
-		if !acc.Write && rc.counts[rc.key(acc.TID, acc.PC.Line)] >= spinReadThreshold {
+	for _, acc := range []race.Access{rep.First, rep.Second} {
+		if !acc.Write && rc != nil && rc.readsAt(rep.Key.Space, rep.Key.Obj, acc.TID, acc.PC.Line) >= spinReadThreshold {
 			ctx.spinRead = true
 		}
 	}
+	dropAccessCounter(st) // nothing reads counts past this point
 	return ctx, nil
 }
 
@@ -349,7 +370,7 @@ func (c *Classifier) enforceAlternate(pre *vm.State, firstTID, secondTID int, sp
 		d := m.DiagnoseSpin(secondTID)
 		if !d.Looping {
 			for _, th := range alt.Threads {
-				if th.Status == vm.ThRunnable && !alt.Suspended[th.ID] {
+				if th.Status == vm.ThRunnable && !alt.IsSuspended(th.ID) {
 					if d2 := m.DiagnoseSpin(th.ID); d2.Looping {
 						d = d2
 						break

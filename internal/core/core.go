@@ -93,6 +93,17 @@ func RunStream(ctx context.Context, p *bytecode.Program, args, inputs []int64, o
 		workers = n
 	}
 
+	// All races of this run share one trace, so they share one replay-
+	// checkpoint store — later classifications resume from earlier ones'
+	// pre-race snapshots instead of re-replaying from the initial state —
+	// and one memoizing solver cache. Neither cache can change a verdict
+	// (resume is deterministic replay, memoized answers are what the
+	// deterministic search would recompute); both only shift time, which
+	// the determinism suite asserts by diffing cached vs uncached runs.
+	if !inner.NoCache && inner.shared == nil {
+		inner.shared = newSharedCaches(inner)
+	}
+
 	type outcome struct {
 		v   *Verdict
 		err error
@@ -214,6 +225,10 @@ func (v *Verdict) Report(p *bytecode.Program) string {
 			map[bool]string{true: "differ", false: "same"}[v.StatesDiffer])
 	case SingleOrdering:
 		fmt.Fprintf(&b, "only one ordering of the accesses is possible: %s\n", v.Detail)
+	}
+	if v.Stats.TruncatedPaths > 0 {
+		fmt.Fprintf(&b, "warning: multi-path exploration truncated (%d paths dropped by fork/worklist caps)\n",
+			v.Stats.TruncatedPaths)
 	}
 	return b.String()
 }

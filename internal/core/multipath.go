@@ -30,6 +30,12 @@ type pathItem struct {
 	raceHit bool
 
 	firstTID, secondTID int
+
+	// skipped is the prefix length a checkpoint resume skipped; it is
+	// charged against the item's first execution segment so a budget-
+	// bound exploration stops at the same instruction it would have when
+	// started from the root.
+	skipped int64
 }
 
 func cloneCtl(c vm.Controller) vm.Controller {
@@ -56,6 +62,49 @@ type mpResult struct {
 	branches    int
 	primaries   int
 	alternates  int
+	truncated   int
+}
+
+// multipathRoot builds the starting point of one race's multi-path
+// exploration: the symbolic root state and a fresh replayer, or — when
+// the shared checkpoint store holds a provably equivalent snapshot — a
+// resumed state with the skipped prefix length. A snapshot is equivalent
+// only if its prefix (a) never touched the racy object class, so every
+// exploration breakpoint and the race point itself still lie ahead, and
+// (b) consumed no input/argument reads that symbolic execution would
+// have made symbolic, so re-arming the symbolic sources on the resumed
+// state reproduces the root-started execution bit for bit. Anything else
+// falls back to a full replay from the root.
+func (c *Classifier) multipathRoot(rep *race.Report, tr *trace.Trace) (*vm.State, vm.Controller, int64) {
+	if store := c.shared.storeFor(tr); store != nil && rep.First.Global > 0 {
+		accept := func(st *vm.State) bool {
+			ac := findAccessCounter(st)
+			if ac == nil || ac.touchedObj(rep.Key.Space, rep.Key.Obj) {
+				return false
+			}
+			if c.Opts.SymbolicInputs > 0 && st.In.Pos > 0 {
+				return false
+			}
+			if len(c.Opts.SymbolicArgs) > 0 && st.ArgReads > 0 {
+				return false
+			}
+			return true
+		}
+		if st, ctl, steps, ok := store.Resume(rep.First.Global, accept); ok {
+			c.ckptHits++
+			dropAccessCounter(st)
+			// Re-arm the symbolic sources exactly as newRootState does;
+			// the accepted prefix consumed none of them.
+			st.In.NSymbolic = c.Opts.SymbolicInputs
+			for _, i := range c.Opts.SymbolicArgs {
+				if i >= 0 && i < len(st.SymArgs) {
+					st.SymArgs[i] = true
+				}
+			}
+			return st, ctl, steps
+		}
+	}
+	return c.newRootState(tr, true), trace.NewReplayer(tr, vm.NewRoundRobin()), 0
 }
 
 // collectPrimaries explores up to Mp primary paths that (a) follow the
@@ -63,15 +112,22 @@ type mpResult struct {
 // target race (§3.3): inputs are symbolic, paths that diverge from the
 // schedule before the race are pruned (Fig 5), and divergence is
 // tolerated after the second racing access.
-func (c *Classifier) collectPrimaries(rep *race.Report, tr *trace.Trace, eng *explore.Engine) []*primaryPath {
+//
+// The exploration is bounded twice: the pending-sibling queue holds at
+// most Opts.MaxQueuedForks forks, and at most Opts.MaxPathItems worklist
+// items are processed. Work the caps discard is counted and returned as
+// truncated so verdicts can disclose that their coverage was clipped,
+// instead of silently overstating k.
+func (c *Classifier) collectPrimaries(rep *race.Report, tr *trace.Trace, eng *explore.Engine) (prims []*primaryPath, truncated int) {
 	space, obj := rep.Key.Space, rep.Key.Obj
 	firstLine := rep.First.PC.Line
 
-	root := c.newRootState(tr, true)
-	work := []*pathItem{{st: root, ctl: trace.NewReplayer(tr, vm.NewRoundRobin())}}
-	var prims []*primaryPath
+	root, rootCtl, skipped := c.multipathRoot(rep, tr)
+	work := []*pathItem{{st: root, ctl: rootCtl, skipped: skipped}}
 
-	maxItems := 4*c.Opts.Mp + 32
+	maxQueue := c.Opts.MaxQueuedForks
+	maxItems := c.Opts.MaxPathItems
+	dropped := 0
 	processed := 0
 	for len(work) > 0 && len(prims) < c.Opts.Mp && processed < maxItems && c.canceled() == nil {
 		processed++
@@ -80,7 +136,8 @@ func (c *Classifier) collectPrimaries(rep *race.Report, tr *trace.Trace, eng *ex
 
 		m := c.newMachine(it.st, it.ctl)
 		onFork := func(sib *vm.State) {
-			if len(work) >= 128 {
+			if len(work) >= maxQueue {
+				dropped++
 				return
 			}
 			work = append(work, &pathItem{
@@ -88,6 +145,16 @@ func (c *Classifier) collectPrimaries(rep *race.Report, tr *trace.Trace, eng *ex
 				pre: it.pre, preTID: it.preTID, raceHit: it.raceHit,
 				firstTID: it.firstTID, secondTID: it.secondTID,
 			})
+		}
+		segBudget := func() int64 {
+			b := c.Opts.RunBudget
+			if it.skipped > 0 && b >= 0 {
+				if b -= it.skipped; b < 0 {
+					b = 0
+				}
+				it.skipped = 0
+			}
+			return b
 		}
 
 		pruned := false
@@ -102,7 +169,7 @@ func (c *Classifier) collectPrimaries(rep *race.Report, tr *trace.Trace, eng *ex
 			m.Break = func(st *vm.State, cur int, pc bytecode.PCRef, in bytecode.Instr) bool {
 				return accessToObj(in, space, obj)
 			}
-			res = eng.RunForking(m, c.Opts.RunBudget, onFork)
+			res = eng.RunForking(m, segBudget(), onFork)
 			if res.Kind != vm.StopBreak {
 				break // completed (or failed) without hitting the race
 			}
@@ -154,7 +221,14 @@ func (c *Classifier) collectPrimaries(rep *race.Report, tr *trace.Trace, eng *ex
 			result: res,
 		})
 	}
-	return prims
+	truncated = dropped
+	if len(work) > 0 && len(prims) < c.Opts.Mp && c.canceled() == nil {
+		// The loop ended on the item cap with pending work and fewer
+		// primaries than requested: the abandoned items are coverage the
+		// verdict claims but never examined.
+		truncated += len(work)
+	}
+	return prims, truncated
 }
 
 func currentLine(st *vm.State) int32 {
@@ -200,7 +274,7 @@ func (c *Classifier) evalAlternate(p *primaryPath, pi, j int, space vm.Space, ob
 	}
 	var ctl vm.Controller = vm.NewRoundRobin()
 	if c.Opts.MultiSchedule {
-		ctl = vm.NewRandom(c.Opts.Seed + uint64(pi)*131 + uint64(j)*17 + 1)
+		ctl = vm.NewRandom(altSeed(c.Opts.Seed, pi, j))
 	}
 	pre := p.pre.Clone()
 	// Alternate executions are fully concrete (§3.3.1): bind every
@@ -241,9 +315,9 @@ func (c *Classifier) evalAlternate(p *primaryPath, pi, j int, space vm.Space, ob
 // solver-query statistics, never in the verdict.
 func (c *Classifier) multiPath(rep *race.Report, tr *trace.Trace) *mpResult {
 	eng := explore.NewEngine(c.sol, c.Opts.MaxForks)
-	prims := c.collectPrimaries(rep, tr, eng)
+	prims, truncated := c.collectPrimaries(rep, tr, eng)
 
-	out := &mpResult{class: KWitnessHarmless, branches: eng.Branches(), primaries: len(prims)}
+	out := &mpResult{class: KWitnessHarmless, branches: eng.Branches(), primaries: len(prims), truncated: truncated}
 	if len(prims) == 0 {
 		out.k = 1 // only the single-pre/single-post witness
 		return out
@@ -320,4 +394,32 @@ func (c *Classifier) multiPath(rep *race.Report, tr *trace.Trace) *mpResult {
 	out.k = witnesses
 	out.alternates = witnesses
 	return out
+}
+
+// splitmix64 is the SplitMix64 finalizer. Every step (odd-constant add,
+// xor-shift, odd-constant multiply) is a bijection on uint64, so the
+// whole function is one too: distinct inputs never collide.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// altSeed derives the RNG seed for alternate schedule j of primary pi by
+// chaining splitmix64 over (Seed, pi, j). The previous linear form
+// (Seed + 131·pi + 17·j + 1) collided for every pair of (pi, j) points
+// differing by a multiple of (+17, −131) — two distinct alternates would
+// silently run the same schedule, shrinking the real k below what the
+// verdict claimed. With the bijective chain, a collision would require
+// splitmix64(h⊕(pi+1)) and splitmix64(h⊕(pi′+1)) to land exactly
+// (j+1)⊕(j′+1) apart, which no realistic Mp×Ma grid produces.
+func altSeed(seed uint64, pi, j int) uint64 {
+	h := splitmix64(seed)
+	h = splitmix64(h ^ uint64(pi+1))
+	h = splitmix64(h ^ uint64(j+1))
+	return h
 }

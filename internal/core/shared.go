@@ -1,0 +1,167 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/bytecode"
+	"repro/internal/ckpt"
+	"repro/internal/solver"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// sharedCaches bundles the per-analysis-run reuse machinery: the replay
+// checkpoint store (replays resume from the nearest prior snapshot
+// instead of the program's initial state) and the memoizing solver cache
+// (structurally identical queries are answered once). RunStream creates
+// one bundle per run and threads it through every Classifier it builds;
+// a Classifier constructed directly gets a private bundle, so repeated
+// Classify calls on one classifier still reuse work.
+//
+// Neither cache changes a verdict: checkpoint resume is deterministic
+// replay from a state full replay would pass through anyway, and the
+// solver cache only returns results the same deterministic search would
+// recompute. The caches trade memory for time, nothing else — which is
+// what the determinism suite asserts by diffing cached against uncached
+// runs byte for byte.
+type sharedCaches struct {
+	store *ckpt.Store
+	cache *solver.Cache
+
+	mu sync.Mutex
+	tr *trace.Trace // the trace the checkpoint store serves
+}
+
+func newSharedCaches(opts Options) *sharedCaches {
+	return &sharedCaches{
+		store: ckpt.NewStore(opts.MaxCheckpoints),
+		cache: solver.NewCache(0),
+	}
+}
+
+// storeFor returns the checkpoint store, binding it to tr on first use.
+// Checkpoints are positions within one recorded schedule; if a classifier
+// with a private bundle is asked about a different trace, the store
+// declines (nil) rather than resume from another execution's states.
+func (s *sharedCaches) storeFor(tr *trace.Trace) *ckpt.Store {
+	if s == nil || tr == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tr == nil {
+		s.tr = tr
+	}
+	if s.tr != tr {
+		return nil
+	}
+	return s.store
+}
+
+// solverCache returns the shared solver memo (nil when caching is off).
+func (s *sharedCaches) solverCache() *solver.Cache {
+	if s == nil {
+		return nil
+	}
+	return s.cache
+}
+
+// counterKey addresses read counts: object class × reading thread ×
+// source line. Heap objects collapse to one class (obj 0), mirroring the
+// race detector's clustering — a heap race's spin analysis considers all
+// heap reads from a line, exactly as the per-race counter did.
+type counterKey struct {
+	space vm.Space
+	obj   int64
+	tid   int64
+	line  int32
+}
+
+// objClass identifies an object class the way race reports do.
+type objClass struct {
+	space vm.Space
+	obj   int64
+}
+
+// accessCounter observes every shared memory access of a replay. It
+// subsumes the per-race read counter: reads are counted per (object
+// class, thread, line) for all objects at once, so the counts for any
+// race can be projected out afterwards — which is what makes a replay
+// state (and its checkpoint snapshots) reusable across races. It also
+// records which object classes have been touched at all (reads or
+// writes); a checkpoint is a safe multi-path resume point for a race
+// only if its prefix never touched the racy object.
+type accessCounter struct {
+	reads   map[counterKey]int
+	touched map[objClass]bool
+}
+
+func newAccessCounter() *accessCounter {
+	return &accessCounter{reads: map[counterKey]int{}, touched: map[objClass]bool{}}
+}
+
+func normObj(space vm.Space, obj int64) int64 {
+	if space == vm.SpaceHeap {
+		return 0
+	}
+	return obj
+}
+
+// OnAccess implements vm.Observer.
+func (ac *accessCounter) OnAccess(st *vm.State, tid int, loc vm.Loc, write bool, pc bytecode.PCRef, tInstr int64) {
+	obj := normObj(loc.Space, loc.Obj)
+	ac.touched[objClass{loc.Space, obj}] = true
+	if !write {
+		ac.reads[counterKey{loc.Space, obj, int64(tid), pc.Line}]++
+	}
+}
+
+// OnSync implements vm.Observer (no-op).
+func (ac *accessCounter) OnSync(st *vm.State, ev vm.SyncEvent) {}
+
+// CloneObs implements vm.Observer.
+func (ac *accessCounter) CloneObs() vm.Observer {
+	n := newAccessCounter()
+	for k, v := range ac.reads {
+		n.reads[k] = v
+	}
+	for k, v := range ac.touched {
+		n.touched[k] = v
+	}
+	return n
+}
+
+// readsAt projects the read count of one race's object class at (tid,
+// line) — the quantity the busy-wait-poll (spinRead) test consumes.
+func (ac *accessCounter) readsAt(space vm.Space, obj int64, tid int, line int32) int {
+	return ac.reads[counterKey{space, normObj(space, obj), int64(tid), line}]
+}
+
+// touchedObj reports whether the object class has been accessed at all.
+func (ac *accessCounter) touchedObj(space vm.Space, obj int64) bool {
+	return ac.touched[objClass{space, normObj(space, obj)}]
+}
+
+// findAccessCounter retrieves the replay's access counter, if any.
+func findAccessCounter(st *vm.State) *accessCounter {
+	for _, o := range st.Observers {
+		if ac, ok := o.(*accessCounter); ok {
+			return ac
+		}
+	}
+	return nil
+}
+
+// dropAccessCounter removes the access counter from a state's observers.
+// Checkpoint snapshots keep their counter (resumed replays must continue
+// counting where the prefix left off), but states handed to enforcement
+// and multi-path exploration do not need one — nothing reads it past the
+// replay — so stripping it spares every downstream clone the map copies.
+func dropAccessCounter(st *vm.State) {
+	for i, o := range st.Observers {
+		if _, ok := o.(*accessCounter); ok {
+			st.Observers = append(st.Observers[:i], st.Observers[i+1:]...)
+			return
+		}
+	}
+}

@@ -19,6 +19,12 @@ type Access struct {
 	PC     bytecode.PCRef
 	TInstr int64
 	Clock  int64 // accessing thread's own clock component at the access
+	// Global is the state-wide completed-instruction count just before the
+	// access executed. Replay of the recorded trace reproduces the same
+	// count at the same access, so it addresses this access within the
+	// trace — the coordinate the classifier's checkpoint store resumes by.
+	// Reports adapted from external tools leave it 0 (unknown).
+	Global int64
 }
 
 // String renders "T2 WRITE @ fn:pc".
@@ -148,7 +154,7 @@ func (d *Detector) vcOf(tid int) VectorClock {
 // check against the last write and the concurrent reads of the location.
 func (d *Detector) OnAccess(st *vm.State, tid int, loc vm.Loc, write bool, pc bytecode.PCRef, tInstr int64) {
 	vc := d.vcOf(tid)
-	cur := &Access{TID: tid, Write: write, PC: pc, TInstr: tInstr, Clock: vc.Get(tid)}
+	cur := &Access{TID: tid, Write: write, PC: pc, TInstr: tInstr, Clock: vc.Get(tid), Global: st.Steps}
 	ls := d.locs[loc]
 	if ls == nil {
 		ls = &locState{reads: map[int]*Access{}}

@@ -1,0 +1,156 @@
+package race
+
+import (
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/vm"
+)
+
+// barrierSignalSrc orders the accesses to g with a barrier and the
+// accesses to data with a signal/wait handoff, while h races: both
+// threads write it after the barrier with no ordering between them.
+const barrierSignalSrc = `
+var g = 0
+var h = 0
+var data = 0
+var ready = 0
+mutex m
+cond c
+barrier b(2)
+fn w() {
+	g = 1
+	lock(m)
+	data = 9
+	ready = 1
+	signal(c)
+	unlock(m)
+	barrier_wait(b)
+	h = 5
+}
+fn main() {
+	let t = spawn w()
+	lock(m)
+	while ready == 0 { wait(c, m) }
+	unlock(m)
+	let v = data + g
+	barrier_wait(b)
+	h = 6
+	join(t)
+	print("v=", v)
+}`
+
+func reportedGlobals(t *testing.T, p *bytecode.Program, reps []*Report) map[string]bool {
+	t.Helper()
+	names := map[string]bool{}
+	for _, r := range reps {
+		if r.Key.Space != vm.SpaceGlobal {
+			t.Fatalf("unexpected heap race %v", r.Key)
+		}
+		names[p.Globals[r.Key.Obj].Name] = true
+	}
+	return names
+}
+
+// TestBarrierSignalEdges asserts the detector's EvBarrier and EvSignal
+// happens-before edges: the barrier orders g, the signal/wait handoff
+// orders data and ready, and only the genuinely unordered h races.
+func TestBarrierSignalEdges(t *testing.T) {
+	r := detect(t, barrierSignalSrc, nil, nil)
+	names := reportedGlobals(t, r.Prog, r.Reports)
+	if !names["h"] {
+		t.Errorf("expected a race on h, got %v", names)
+	}
+	for _, ordered := range []string{"g", "data", "ready"} {
+		if names[ordered] {
+			t.Errorf("false race on %s: its accesses are ordered by sync edges (%v)", ordered, names)
+		}
+	}
+}
+
+// TestDetectorCloneMidRun asserts the race detector forks correctly with
+// execution states, the way multi-path exploration forks it: the run is
+// paused mid-execution (before the barrier and the signal have fired),
+// the state — detector included, via CloneObs — is cloned, and both
+// copies run to completion independently. Each copy must maintain its
+// own vector clocks across the barrier/signal edges and report exactly
+// the races the unforked run reports.
+func TestDetectorCloneMidRun(t *testing.T) {
+	p := bytecode.MustCompile(barrierSignalSrc, "clonetest", bytecode.Options{})
+
+	run := func(st *vm.State, ctl vm.Controller) *Detector {
+		t.Helper()
+		res := vm.NewMachine(st, ctl).Run(2_000_000)
+		if res.Kind != vm.StopFinished {
+			t.Fatalf("run did not finish: %v", res.Kind)
+		}
+		return st.Observers[0].(*Detector)
+	}
+
+	ids := func(d *Detector) []string {
+		var out []string
+		for _, r := range d.Reports() {
+			out = append(out, r.ID())
+		}
+		return out
+	}
+
+	// Reference: one uninterrupted detection run.
+	ref := vm.NewState(p, nil, nil)
+	ref.Observers = append(ref.Observers, NewDetector())
+	want := ids(run(ref, vm.NewRoundRobin()))
+	if len(want) == 0 {
+		t.Fatal("reference run found no races")
+	}
+
+	// Forked: pause early, clone (CloneObs runs for the detector), then
+	// finish the original and the clone separately.
+	st := vm.NewState(p, nil, nil)
+	st.Observers = append(st.Observers, NewDetector())
+	ctl := vm.NewRoundRobin()
+	if res := vm.NewMachine(st, ctl).Run(12); res.Kind != vm.StopBudget {
+		t.Fatalf("pause run stopped with %v", res.Kind)
+	}
+	sib := st.Clone()
+	sibCtl := ctl.CloneCtl()
+
+	for i, arm := range []struct {
+		st  *vm.State
+		ctl vm.Controller
+	}{{st, ctl}, {sib, sibCtl}} {
+		got := ids(run(arm.st, arm.ctl))
+		if len(got) != len(want) {
+			t.Fatalf("arm %d: %d races, want %d (%v vs %v)", i, len(got), len(want), got, want)
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Errorf("arm %d: race %d = %s, want %s", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestAccessGlobalCoordinate asserts detection stamps each racing access
+// with its state-wide instruction count — the coordinate the classifier's
+// checkpoint store resumes replays by.
+func TestAccessGlobalCoordinate(t *testing.T) {
+	r := detect(t, `
+var c = 0
+fn w() { c += 1 }
+fn main() {
+	let a = spawn w()
+	let b = spawn w()
+	join(a)
+	join(b)
+}`, nil, nil)
+	if len(r.Reports) == 0 {
+		t.Fatal("expected a race")
+	}
+	rep := r.Reports[0]
+	if rep.First.Global <= 0 {
+		t.Errorf("First.Global = %d, want > 0", rep.First.Global)
+	}
+	if rep.Second.Global <= rep.First.Global {
+		t.Errorf("Second.Global = %d, want > First.Global = %d", rep.Second.Global, rep.First.Global)
+	}
+}

@@ -1,0 +1,141 @@
+package solver
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/expr"
+)
+
+// Cache memoizes Solve results across Solver instances. The per-race
+// classification engine gives every worker its own Solver (statistics
+// stay per-race) but shares one Cache per analysis run: alternate
+// executions of one race, and the multi-path explorations of different
+// races over the same trace, re-issue large numbers of structurally
+// identical queries, and the cache answers repeats without re-searching.
+//
+// Keys are the canonical form of a query: the flattened conjunct list
+// (top-level ANDs split, constant-true conjuncts dropped — exactly the
+// normalization Solve itself applies) rendered in order, plus the
+// concolic hints of the variables occurring in the constraints. A hit is
+// therefore guaranteed to reproduce what Solve would compute for that
+// flat form: Solve is deterministic given (flat, hints, options), so
+// cached answers are byte-identical to recomputed ones and the engine's
+// verdicts cannot depend on cache warmth. Conjunct order is preserved in
+// the key rather than sorted — two orderings of the same conjunct set
+// are distinct computations, and collapsing them could make a cached run
+// diverge from an uncached one.
+//
+// A Cache must only be shared between Solvers built with the same
+// Options (the engine derives every worker's solver from one configuration).
+//
+// Cache is safe for concurrent use; hit/miss statistics are atomic.
+type Cache struct {
+	mu  sync.RWMutex
+	m   map[string]cacheEntry
+	max int
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheEntry struct {
+	model expr.Assignment // nil unless res == Sat
+	res   Result
+}
+
+// DefaultCacheSize bounds a cache built with NewCache(0).
+const DefaultCacheSize = 8192
+
+// NewCache returns a cache bounded to max entries (<= 0 means
+// DefaultCacheSize). When full, new results are simply not inserted;
+// existing entries keep answering.
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = DefaultCacheSize
+	}
+	return &Cache{m: make(map[string]cacheEntry), max: max}
+}
+
+// Len returns the number of memoized queries.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// Hits returns the number of lookups answered from the cache.
+func (c *Cache) Hits() int { return int(c.hits.Load()) }
+
+// Misses returns the number of lookups that required a fresh search.
+func (c *Cache) Misses() int { return int(c.misses.Load()) }
+
+// key renders the canonical form of a query: the ordered flat conjuncts
+// and the hints of exactly the variables they mention (names sorted, so
+// the rendering does not depend on map iteration order).
+func cacheKey(flat []expr.Expr, names []string, hints expr.Assignment) string {
+	var b strings.Builder
+	for _, e := range flat {
+		b.WriteString(e.String())
+		b.WriteByte('&')
+	}
+	b.WriteByte('|')
+	if !sort.StringsAreSorted(names) {
+		names = append([]string(nil), names...)
+		sort.Strings(names)
+	}
+	var buf [20]byte
+	for _, n := range names {
+		b.WriteString(n)
+		if v, ok := hints[n]; ok {
+			b.WriteByte('=')
+			b.Write(strconv.AppendInt(buf[:0], v, 10))
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// get looks up a memoized result. The returned model is a private copy.
+func (c *Cache) get(key string) (expr.Assignment, Result, bool) {
+	c.mu.RLock()
+	e, ok := c.m[key]
+	c.mu.RUnlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, 0, false
+	}
+	c.hits.Add(1)
+	var model expr.Assignment
+	if e.model != nil {
+		model = make(expr.Assignment, len(e.model))
+		for k, v := range e.model {
+			model[k] = v
+		}
+	}
+	return model, e.res, true
+}
+
+// put memoizes a result. The model is copied; callers may keep mutating
+// their own instance.
+func (c *Cache) put(key string, model expr.Assignment, res Result) {
+	var stored expr.Assignment
+	if model != nil {
+		stored = make(expr.Assignment, len(model))
+		for k, v := range model {
+			stored[k] = v
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.m[key]; dup {
+		return
+	}
+	if len(c.m) >= c.max {
+		return
+	}
+	c.m[key] = cacheEntry{model: stored, res: res}
+}

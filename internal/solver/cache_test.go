@@ -1,0 +1,183 @@
+package solver
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+func x() expr.Expr        { return expr.NewSym("x") }
+func c(v int64) expr.Expr { return expr.NewConst(v) }
+
+func TestCacheHitReturnsIdenticalAnswer(t *testing.T) {
+	cache := NewCache(0)
+	q := []expr.Expr{expr.Gt(x(), c(3)), expr.Lt(x(), c(10))}
+	hints := expr.Assignment{"x": 5}
+
+	fresh := New(Options{})
+	m1, r1 := fresh.Solve(q, hints)
+
+	s := New(Options{})
+	s.Cache = cache
+	m2, r2 := s.Solve(q, hints)
+	m3, r3 := s.Solve(q, hints)
+
+	if r1 != r2 || r2 != r3 {
+		t.Fatalf("results differ: %v %v %v", r1, r2, r3)
+	}
+	if !reflect.DeepEqual(m1, m2) || !reflect.DeepEqual(m2, m3) {
+		t.Fatalf("models differ: %v %v %v", m1, m2, m3)
+	}
+	if cache.Hits() != 1 || cache.Misses() != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", cache.Hits(), cache.Misses())
+	}
+	if s.CacheHits() != 1 {
+		t.Errorf("solver-local cache hits = %d, want 1", s.CacheHits())
+	}
+	// The cached model is a private copy: mutating one answer must not
+	// poison the next.
+	m2["x"] = -999
+	m4, _ := s.Solve(q, hints)
+	if m4["x"] == -999 {
+		t.Fatal("cached model aliased into caller results")
+	}
+}
+
+func TestCacheKeyDistinguishesHints(t *testing.T) {
+	cache := NewCache(0)
+	s := New(Options{})
+	s.Cache = cache
+	q := []expr.Expr{expr.Gt(x(), c(0)), expr.Lt(x(), c(100))}
+
+	m1, _ := s.Solve(q, expr.Assignment{"x": 7})
+	m2, _ := s.Solve(q, expr.Assignment{"x": 42})
+	if cache.Hits() != 0 {
+		t.Errorf("different hints must not share a cache entry (hits = %d)", cache.Hits())
+	}
+	if m1["x"] != 7 || m2["x"] != 42 {
+		t.Errorf("hint-led models wrong: %v %v", m1, m2)
+	}
+	// Hints of variables absent from the constraints are irrelevant and
+	// must not fragment the cache.
+	s.Solve(q, expr.Assignment{"x": 7, "unrelated": 1})
+	if cache.Hits() != 1 {
+		t.Errorf("irrelevant hint fragmented the cache (hits = %d)", cache.Hits())
+	}
+}
+
+func TestCacheUnsatAndShared(t *testing.T) {
+	cache := NewCache(0)
+	q := []expr.Expr{expr.Gt(x(), c(5)), expr.Lt(x(), c(3))}
+
+	var wg sync.WaitGroup
+	results := make([]Result, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := New(Options{})
+			s.Cache = cache
+			_, results[i] = s.Solve(q, nil)
+		}(i)
+	}
+	wg.Wait()
+	for _, r := range results {
+		if r != Unsat {
+			t.Fatalf("expected Unsat, got %v", r)
+		}
+	}
+	if cache.Len() != 1 {
+		t.Errorf("cache len = %d, want 1", cache.Len())
+	}
+}
+
+func TestCacheSkipsInterruptedQueries(t *testing.T) {
+	cache := NewCache(0)
+	s := New(Options{})
+	s.Cache = cache
+	s.Interrupt = func() bool { return true }
+	// A two-variable nonlinear query with no candidate solution keeps the
+	// backtracking search running long enough to hit the interrupt poll.
+	y := expr.NewSym("y")
+	q := []expr.Expr{expr.Eq(expr.NewBinary(expr.OpMul, x(), y), c((1<<40)+3))}
+	if _, r := s.Solve(q, nil); r != Unknown {
+		t.Fatalf("interrupted query = %v, want Unknown", r)
+	}
+	if cache.Len() != 0 {
+		t.Fatal("interrupted (cancelled) result was cached")
+	}
+
+	// The same query on a healthy solver must compute fresh and cache.
+	s2 := New(Options{})
+	s2.Cache = cache
+	if _, r := s2.Solve(q, nil); r == Sat {
+		// fine either way; the point is it ran
+		_ = r
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("healthy re-run not cached (len = %d)", cache.Len())
+	}
+}
+
+func TestCacheCapacity(t *testing.T) {
+	cache := NewCache(2)
+	s := New(Options{})
+	s.Cache = cache
+	for i := 0; i < 5; i++ {
+		s.Solve([]expr.Expr{expr.Eq(x(), c(int64(i)))}, nil)
+	}
+	if cache.Len() != 2 {
+		t.Errorf("cache len = %d, want cap 2", cache.Len())
+	}
+	// Entries admitted before the cap still answer.
+	h0 := cache.Hits()
+	s.Solve([]expr.Expr{expr.Eq(x(), c(0))}, nil)
+	if cache.Hits() != h0+1 {
+		t.Error("capped cache no longer answers existing entries")
+	}
+}
+
+func TestCacheKeyCanonicalOrder(t *testing.T) {
+	// Nested top-level ANDs flatten to the same conjunct list as the
+	// split form, so the two spellings share one entry.
+	cache := NewCache(0)
+	s := New(Options{})
+	s.Cache = cache
+	a, b := expr.Gt(x(), c(1)), expr.Lt(x(), c(9))
+	s.Solve([]expr.Expr{expr.NewBinary(expr.OpLAnd, a, b)}, nil)
+	s.Solve([]expr.Expr{a, b}, nil)
+	if cache.Hits() != 1 || cache.Len() != 1 {
+		t.Errorf("flattened forms did not share an entry: hits=%d len=%d", cache.Hits(), cache.Len())
+	}
+	// Reversed conjunct order is a different computation and must not
+	// collapse onto the same entry.
+	s.Solve([]expr.Expr{b, a}, nil)
+	if cache.Len() != 2 {
+		t.Errorf("order-reversed query unexpectedly shared an entry (len=%d)", cache.Len())
+	}
+}
+
+func BenchmarkSolveCached(b *testing.B) {
+	qs := make([][]expr.Expr, 16)
+	for i := range qs {
+		qs[i] = []expr.Expr{expr.Gt(x(), c(int64(i))), expr.Lt(x(), c(int64(i)+50))}
+	}
+	b.Run("cold", func(b *testing.B) {
+		s := New(Options{})
+		for i := 0; i < b.N; i++ {
+			s.Solve(qs[i%len(qs)], nil)
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		s := New(Options{})
+		s.Cache = NewCache(0)
+		for i := 0; i < b.N; i++ {
+			s.Solve(qs[i%len(qs)], nil)
+		}
+	})
+}
+
+var _ = fmt.Sprintf // keep fmt for debugging edits

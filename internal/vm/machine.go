@@ -87,6 +87,12 @@ type Machine struct {
 	// suppress re-asking the controller for the point it just chose
 	skipTID   int
 	skipInstr int64
+
+	// scratch is the reused runnable-thread buffer; scheduling points
+	// rebuild it in place so the interpreter loop never allocates.
+	// Controllers receive it read-only for the duration of PickNext and
+	// must not retain it.
+	scratch []int
 }
 
 // NewMachine returns a machine over st with the given controller and the
@@ -119,6 +125,13 @@ const interruptStride = 256
 // Run executes until the program finishes, fails, deadlocks, hits a
 // breakpoint, is interrupted, or exhausts the budget (budget < 0 means
 // unlimited).
+//
+// The loop is the analysis' innermost hot path: every replay, alternate
+// enforcement, and multi-path exploration step goes through it. It
+// therefore consults the scheduler (and builds the runnable set) only at
+// actual scheduling points — sync operations, a blocked/exited current
+// thread, or (with PreemptAccesses) shared accesses — instead of
+// rescanning every thread before every instruction.
 func (m *Machine) Run(budget int64) RunResult {
 	st := m.St
 	var steps int64
@@ -133,28 +146,22 @@ func (m *Machine) Run(budget int64) RunResult {
 		if st.Failure != nil {
 			return RunResult{Kind: StopError, Err: st.Failure, Steps: steps}
 		}
-		if st.Finished() {
+		if st.Halted {
 			return RunResult{Kind: StopFinished, Steps: steps}
-		}
-		runnable := st.RunnableTIDs()
-		if len(runnable) == 0 {
-			// Would any suspended thread be schedulable if resumed?
-			for _, t := range st.Threads {
-				if st.Suspended[t.ID] && t.Status == ThRunnable {
-					return RunResult{Kind: StopStuck, Steps: steps}
-				}
-			}
-			return RunResult{Kind: StopDeadlock, Steps: steps}
 		}
 
 		cur := st.Cur
 		if cur < 0 || cur >= len(st.Threads) {
-			m.pick(runnable)
+			if kind, stop := m.reschedule(); stop {
+				return RunResult{Kind: kind, Steps: steps}
+			}
 			continue
 		}
 		th := st.Threads[cur]
-		if th.Status != ThRunnable || st.Suspended[cur] {
-			m.pick(runnable)
+		if th.Status != ThRunnable || st.IsSuspended(cur) {
+			if kind, stop := m.reschedule(); stop {
+				return RunResult{Kind: kind, Steps: steps}
+			}
 			continue
 		}
 
@@ -170,7 +177,8 @@ func (m *Machine) Run(budget int64) RunResult {
 		// accesses, unless the controller just picked this very point.
 		if in.Op.IsSyncOp() || (m.PreemptAccesses && in.Op.IsSharedAccess()) {
 			if !(m.skipTID == cur && m.skipInstr == th.Instrs) {
-				m.pick(runnable)
+				m.scratch = st.AppendRunnableTIDs(m.scratch[:0])
+				m.pick(m.scratch)
 				if st.Cur != cur {
 					continue
 				}
@@ -194,6 +202,29 @@ func (m *Machine) Run(budget int64) RunResult {
 			steps++
 		}
 	}
+}
+
+// reschedule picks a new current thread when the present one cannot run.
+// stop is true when no thread can: the program finished (every thread
+// exited), only suspended threads could progress (stuck), or no live
+// thread is schedulable (deadlock).
+func (m *Machine) reschedule() (kind StopKind, stop bool) {
+	st := m.St
+	m.scratch = st.AppendRunnableTIDs(m.scratch[:0])
+	if len(m.scratch) == 0 {
+		if st.LiveCount() == 0 {
+			return StopFinished, true
+		}
+		// Would any suspended thread be schedulable if resumed?
+		for _, t := range st.Threads {
+			if st.IsSuspended(t.ID) && t.Status == ThRunnable {
+				return StopStuck, true
+			}
+		}
+		return StopDeadlock, true
+	}
+	m.pick(m.scratch)
+	return 0, false
 }
 
 // Step executes exactly one completed instruction of the current thread
@@ -764,6 +795,7 @@ func (m *Machine) exec(th *Thread, fr *Frame, in bytecode.Instr, pcref bytecode.
 		if i < 0 || i >= int64(len(st.Args)) {
 			return false, st.fail(ErrBadArg, tid, pcref, fmt.Sprintf("arg(%d) of %d", i, len(st.Args)))
 		}
+		st.ArgReads++
 		if st.SymArgs[i] {
 			s, ok := st.argSyms[int(i)]
 			if !ok {

@@ -201,6 +201,13 @@ type State struct {
 	Args    []int64
 	SymArgs []bool // per-arg: reads produce symbolic values
 
+	// ArgReads counts completed ARG instructions. Together with In.Pos it
+	// tells a checkpoint consumer whether the execution so far touched any
+	// source that symbolic re-execution would have made symbolic: a state
+	// with In.Pos == 0 and ArgReads == 0 is bit-identical to what the same
+	// replay would produce with symbolic inputs/args enabled.
+	ArgReads int
+
 	// PathCond is the conjunction of branch constraints accumulated by
 	// symbolic execution; Hints maps every created symbol to its concolic
 	// seed value, so the state always carries a satisfying witness.
@@ -209,7 +216,11 @@ type State struct {
 
 	// Suspended threads are invisible to the scheduler; the classifier
 	// suspends the first racing thread to enforce the alternate ordering.
-	Suspended map[int]bool
+	// Indexed by thread id and grown on demand (a short id is simply not
+	// suspended) — the interpreter loop consults it once per instruction,
+	// which is why it is a slice and not a map. Use IsSuspended / Suspend
+	// / Resume rather than indexing directly.
+	Suspended []bool
 
 	Steps   int64 // total completed instructions
 	Halted  bool  // main returned: the process exits
@@ -224,16 +235,15 @@ type State struct {
 // arguments and input log.
 func NewState(p *bytecode.Program, args []int64, inputs []int64) *State {
 	st := &State{
-		Prog:      p,
-		Heap:      map[int64]*HeapBlock{},
-		NextRef:   1,
-		Args:      append([]int64(nil), args...),
-		SymArgs:   make([]bool, len(args)),
-		In:        Inputs{Values: append([]int64(nil), inputs...)},
-		Hints:     expr.Assignment{},
-		Suspended: map[int]bool{},
-		Cur:       0,
-		argSyms:   map[int]*expr.Sym{},
+		Prog:    p,
+		Heap:    map[int64]*HeapBlock{},
+		NextRef: 1,
+		Args:    append([]int64(nil), args...),
+		SymArgs: make([]bool, len(args)),
+		In:      Inputs{Values: append([]int64(nil), inputs...)},
+		Hints:   expr.Assignment{},
+		Cur:     0,
+		argSyms: map[int]*expr.Sym{},
 	}
 	st.Globals = make([][]expr.Expr, len(p.Globals))
 	for i, g := range p.Globals {
@@ -290,15 +300,16 @@ func NewState(p *bytecode.Program, args []int64, inputs []int64) *State {
 // schedule workers rely on.
 func (st *State) Clone() *State {
 	ns := &State{
-		Prog:    st.Prog,
-		NextRef: st.NextRef,
-		Cur:     st.Cur,
-		Steps:   st.Steps,
-		Halted:  st.Halted,
-		Failure: st.Failure,
-		In:      Inputs{Values: append([]int64(nil), st.In.Values...), Pos: st.In.Pos, NSymbolic: st.In.NSymbolic},
-		Args:    append([]int64(nil), st.Args...),
-		SymArgs: append([]bool(nil), st.SymArgs...),
+		Prog:     st.Prog,
+		NextRef:  st.NextRef,
+		Cur:      st.Cur,
+		Steps:    st.Steps,
+		Halted:   st.Halted,
+		Failure:  st.Failure,
+		In:       Inputs{Values: append([]int64(nil), st.In.Values...), Pos: st.In.Pos, NSymbolic: st.In.NSymbolic},
+		Args:     append([]int64(nil), st.Args...),
+		SymArgs:  append([]bool(nil), st.SymArgs...),
+		ArgReads: st.ArgReads,
 	}
 
 	// Globals: one cell slab for all variables.
@@ -389,10 +400,7 @@ func (st *State) Clone() *State {
 	for k, v := range st.Hints {
 		ns.Hints[k] = v
 	}
-	ns.Suspended = make(map[int]bool, len(st.Suspended))
-	for k, v := range st.Suspended {
-		ns.Suspended[k] = v
-	}
+	ns.Suspended = append([]bool(nil), st.Suspended...)
 	ns.Observers = make([]Observer, len(st.Observers))
 	for i, o := range st.Observers {
 		ns.Observers[i] = o.CloneObs()
@@ -404,16 +412,28 @@ func (st *State) Clone() *State {
 	return ns
 }
 
+// IsSuspended reports whether the thread is hidden from the scheduler.
+func (st *State) IsSuspended(tid int) bool {
+	return tid >= 0 && tid < len(st.Suspended) && st.Suspended[tid]
+}
+
 // RunnableTIDs returns the schedulable threads in id order, excluding
 // suspended ones.
 func (st *State) RunnableTIDs() []int {
-	var out []int
+	return st.AppendRunnableTIDs(nil)
+}
+
+// AppendRunnableTIDs appends the schedulable thread ids (in id order,
+// excluding suspended threads) to buf and returns it. The interpreter
+// loop calls this with a reused scratch buffer so scheduling points do
+// not allocate.
+func (st *State) AppendRunnableTIDs(buf []int) []int {
 	for _, t := range st.Threads {
-		if t.Status == ThRunnable && !st.Suspended[t.ID] {
-			out = append(out, t.ID)
+		if t.Status == ThRunnable && !st.IsSuspended(t.ID) {
+			buf = append(buf, t.ID)
 		}
 	}
-	return out
+	return buf
 }
 
 // LiveCount returns the number of threads that have not exited.
@@ -433,10 +453,22 @@ func (st *State) Finished() bool {
 }
 
 // Suspend hides a thread from the scheduler (classifier orchestration).
-func (st *State) Suspend(tid int) { st.Suspended[tid] = true }
+func (st *State) Suspend(tid int) {
+	if tid < 0 {
+		return
+	}
+	for len(st.Suspended) <= tid {
+		st.Suspended = append(st.Suspended, false)
+	}
+	st.Suspended[tid] = true
+}
 
 // Resume reverses Suspend.
-func (st *State) Resume(tid int) { delete(st.Suspended, tid) }
+func (st *State) Resume(tid int) {
+	if tid >= 0 && tid < len(st.Suspended) {
+		st.Suspended[tid] = false
+	}
+}
 
 // NewSym mints a fresh symbolic variable with a concolic hint and records
 // the hint.

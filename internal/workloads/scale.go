@@ -37,3 +37,31 @@ fn main() {
 	b.WriteString("\tprint(\"acc=\", acc)\n}\n")
 	return b.String()
 }
+
+// ManyRaceSource generates the workload behind the checkpoint-store
+// benchmarks and tests: a `pad`-iteration compute prefix followed by
+// `races` independent benign races on distinct globals. Classifying any
+// of the races from the initial state must first re-interpret the whole
+// prefix, so the analysis pays O(races × pad) interpretation without
+// checkpoint reuse but only O(pad) with it — the "stop re-replaying the
+// world" shape the shared replay store is built for. The single input
+// read sits after the races, so the pre-race checkpoints are symbolic-
+// safe and multi-path exploration resumes from the store too.
+func ManyRaceSource(races, pad int) string {
+	var b strings.Builder
+	b.WriteString("// many-race: parametric workload for the checkpoint-store benchmarks.\n")
+	for i := 0; i < races; i++ {
+		fmt.Fprintf(&b, "var g%d = 0\n", i)
+	}
+	b.WriteString("var acc = 0\n")
+	for i := 0; i < races; i++ {
+		fmt.Fprintf(&b, "fn w%d() {\n\tg%d = 7\n}\n", i, i)
+	}
+	b.WriteString("fn main() {\n")
+	fmt.Fprintf(&b, "\tfor i = 0, %d { acc = acc + 1 }\n", pad)
+	for i := 0; i < races; i++ {
+		fmt.Fprintf(&b, "\tlet t%d = spawn w%d()\n\tyield()\n\tg%d = 7\n\tjoin(t%d)\n", i, i, i, i)
+	}
+	b.WriteString("\tlet x = input()\n\tprint(\"acc=\", acc + x)\n}\n")
+	return b.String()
+}

@@ -103,9 +103,21 @@ func WithMaxForks(n int) Option {
 }
 
 // WithSeed seeds the randomized alternate schedules; runs with the same
-// seed (and options) are fully reproducible.
+// seed (and options) are fully reproducible. Every seed value round-
+// trips, including 0 — the option marks the seed as explicitly chosen,
+// so WithSeed(0) pins seed 0 rather than falling back to the default.
 func WithSeed(seed uint64) Option {
-	return func(o *core.Options) { o.Seed = seed }
+	return func(o *core.Options) { o.Seed, o.SeedSet = seed, true }
+}
+
+// WithCaching toggles the engine's shared reuse machinery: the replay
+// checkpoint store (later races resume replay from earlier races'
+// pre-race snapshots) and the memoizing solver cache. It is on by
+// default; verdicts are byte-identical either way (the caches shift
+// time, never outcomes), so disabling it is only useful for ablation
+// timing or to trade speed for memory.
+func WithCaching(enabled bool) Option {
+	return func(o *core.Options) { o.NoCache = !enabled }
 }
 
 // Features are the technique gates of the paper's Fig 7 ablation.

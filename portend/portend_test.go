@@ -60,7 +60,10 @@ func renderFacade(vs []portend.Verdict, errs []error) string {
 // TestFacadeMatchesEngine asserts the redesign's acceptance criterion:
 // for every built-in workload, the streaming path and the batch path
 // produce verdict sets byte-identical to the pre-redesign core.Run —
-// at more than one parallelism width.
+// at more than one parallelism width. The reference run disables the
+// engine's reuse caches, so this also pins the shared-replay engine's
+// guarantee: the facade's default (cached) analysis is byte-identical
+// to the uncached engine at every width.
 func TestFacadeMatchesEngine(t *testing.T) {
 	for _, w := range workloads.All() {
 		t.Run(w.Name, func(t *testing.T) {
@@ -68,6 +71,7 @@ func TestFacadeMatchesEngine(t *testing.T) {
 			p := w.Compile()
 			opts := core.DefaultOptions()
 			opts.Parallel = 1
+			opts.NoCache = true
 			want := renderCore(core.Run(p, w.Args, w.Inputs, opts))
 
 			for _, parallel := range []int{1, 8} {
@@ -256,6 +260,66 @@ func TestWorkloadTargetMatchesCLIBehavior(t *testing.T) {
 	}
 	if rep.Target != names[0] {
 		t.Errorf("target name %q, want %q", rep.Target, names[0])
+	}
+}
+
+// TestSeedRoundTripsThroughFacade pins the seed-0 regression: WithSeed
+// marks the seed explicit, so seed 0 survives both the facade and the
+// engine's option normalization instead of decaying to the default.
+func TestSeedRoundTripsThroughFacade(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 1 << 40} {
+		a := portend.New(portend.WithSeed(seed))
+		opts := a.Options()
+		if opts.Seed != seed || !opts.SeedSet {
+			t.Errorf("WithSeed(%d): options carry seed=%d set=%v", seed, opts.Seed, opts.SeedSet)
+		}
+		cl := core.New(nil, opts)
+		if cl.Opts.Seed != seed {
+			t.Errorf("WithSeed(%d): engine normalized the seed to %d", seed, cl.Opts.Seed)
+		}
+	}
+	// Without WithSeed, zero still means "default".
+	if cl := core.New(nil, portend.New().Options()); cl.Opts.Seed != core.DefaultOptions().Seed {
+		t.Errorf("default seed = %d, want %d", cl.Opts.Seed, core.DefaultOptions().Seed)
+	}
+}
+
+// TestCachingToggleAndStats asserts WithCaching(false) really disables
+// the reuse machinery (no hits reported) and that the default cached
+// analysis exposes its hit counters through the JSON verdicts.
+func TestCachingToggleAndStats(t *testing.T) {
+	ctx := context.Background()
+	target := portend.Source("two-race", twoRaceSrc)
+
+	cached, err := portend.New(portend.WithParallel(1)).AnalyzeAll(ctx, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached, err := portend.New(portend.WithParallel(1), portend.WithCaching(false)).AnalyzeAll(ctx, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range uncached.Verdicts {
+		if v.Stats.CheckpointHits != 0 || v.Stats.SolverCacheHits != 0 {
+			t.Errorf("WithCaching(false) still reports hits: %+v", v.Stats)
+		}
+	}
+	hits := 0
+	for _, v := range cached.Verdicts {
+		hits += v.Stats.CheckpointHits
+	}
+	if hits == 0 {
+		t.Error("cached two-race analysis reports no checkpoint hits")
+	}
+
+	raw, err := json.Marshal(cached.Verdicts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"checkpointHits", "solverCacheHits"} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("verdict JSON missing %q: %s", key, raw)
+		}
 	}
 }
 

@@ -82,14 +82,31 @@ type OutputDivergence struct {
 	AlternateCount int    `json:"alternateCount,omitempty"`
 }
 
-// Stats instruments one classification (Fig 9's axes).
+// Stats instruments one classification (Fig 9's axes, plus the engine's
+// reuse and truncation accounting).
 type Stats struct {
-	Preemptions   int           `json:"preemptions"`
-	Branches      int           `json:"branches"`
-	SolverQueries int           `json:"solverQueries"`
-	PrimaryPaths  int           `json:"primaryPaths"`
-	Alternates    int           `json:"alternates"`
-	Duration      time.Duration `json:"durationNs"`
+	Preemptions   int `json:"preemptions"`
+	Branches      int `json:"branches"`
+	SolverQueries int `json:"solverQueries"`
+	PrimaryPaths  int `json:"primaryPaths"`
+	Alternates    int `json:"alternates"`
+
+	// CheckpointHits counts replays that resumed from the shared
+	// checkpoint store instead of the program's initial state;
+	// SolverCacheHits counts solver queries answered from the shared
+	// memo. Both depend on what earlier (possibly concurrent)
+	// classifications cached, so unlike the verdict itself they may vary
+	// between runs of different parallelism.
+	CheckpointHits  int `json:"checkpointHits"`
+	SolverCacheHits int `json:"solverCacheHits"`
+
+	// TruncatedPaths counts multi-path exploration the engine's caps
+	// discarded (dropped forks plus abandoned worklist items). When it is
+	// non-zero, a k-witness verdict's coverage is narrower than the
+	// configured Mp×Ma suggests.
+	TruncatedPaths int `json:"truncatedPaths,omitempty"`
+
+	Duration time.Duration `json:"durationNs"`
 }
 
 // Verdict is the classification of one race. The zero Verdict (as seen
@@ -154,12 +171,15 @@ func newVerdict(cv *core.Verdict, prog *bytecode.Program) Verdict {
 		Detail:       cv.Detail,
 		StatesDiffer: cv.StatesDiffer,
 		Stats: Stats{
-			Preemptions:   cv.Stats.Preemptions,
-			Branches:      cv.Stats.Branches,
-			SolverQueries: cv.Stats.SolverQueries,
-			PrimaryPaths:  cv.Stats.PrimaryPaths,
-			Alternates:    cv.Stats.Alternates,
-			Duration:      cv.Stats.Duration,
+			Preemptions:     cv.Stats.Preemptions,
+			Branches:        cv.Stats.Branches,
+			SolverQueries:   cv.Stats.SolverQueries,
+			PrimaryPaths:    cv.Stats.PrimaryPaths,
+			Alternates:      cv.Stats.Alternates,
+			CheckpointHits:  cv.Stats.CheckpointHits,
+			SolverCacheHits: cv.Stats.SolverCacheHits,
+			TruncatedPaths:  cv.Stats.TruncatedPaths,
+			Duration:        cv.Stats.Duration,
 		},
 		prog: prog,
 		raw:  cv,

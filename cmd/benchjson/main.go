@@ -4,10 +4,17 @@
 //
 // Usage:
 //
-//	go test -bench 'Table3|Table4|Checkpoint' -benchtime 1x -run '^$' . | benchjson -label pr3 -o BENCH_3.json
+//	go test -bench 'Table3|Table4|Checkpoint' -benchtime 1x -run '^$' . | benchjson -label pr4 -o BENCH_4.json
 //
 // Lines that are not benchmark results (headers, PASS, logs) are
 // ignored, so the raw `go test` stream can be piped in unfiltered.
+//
+// With -compare BASELINE.json the command additionally gates the new
+// numbers against a checked-in baseline: any Table3/Table4/Checkpoint
+// benchmark whose ns/op exceeds its baseline by more than the threshold
+// (default 2x, generous enough to absorb runner variance) fails the run
+// with exit status 1 — the CI guard that keeps the perf trajectory from
+// silently regressing.
 package main
 
 import (
@@ -40,8 +47,10 @@ type Doc struct {
 }
 
 func main() {
-	label := flag.String("label", "", "free-form label recorded in the document (e.g. pr3)")
+	label := flag.String("label", "", "free-form label recorded in the document (e.g. pr4)")
 	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.String("compare", "", "baseline BENCH_*.json; fail on regressions past -threshold")
+	threshold := flag.Float64("threshold", 2.0, "regression factor tolerated against -compare baseline")
 	flag.Parse()
 
 	doc := Doc{Label: *label}
@@ -81,12 +90,86 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
 		os.Exit(1)
 	}
+
+	if *compare != "" {
+		if !compareBaseline(doc, *compare, *threshold) {
+			os.Exit(1)
+		}
+	}
+}
+
+// gated reports whether a benchmark participates in the regression gate:
+// the evaluation-table and checkpoint benchmarks that define the perf
+// trajectory. Other benchmarks in the stream are recorded but not gated.
+func gated(name string) bool {
+	for _, key := range []string{"Table3", "Table4", "Checkpoint"} {
+		if strings.Contains(name, key) {
+			return true
+		}
+	}
+	return false
+}
+
+// baseName strips the -N GOMAXPROCS suffix go test appends, so runs on
+// machines with different core counts compare by benchmark identity.
+func baseName(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// compareBaseline checks doc's gated benchmarks against the baseline
+// file and reports whether all of them stay within factor× the recorded
+// ns/op. Benchmarks missing from either side are skipped (renames and
+// new benchmarks must not break the gate).
+func compareBaseline(doc Doc, path string, factor float64) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: compare:", err)
+		return false
+	}
+	var base Doc
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: compare: %s: %v\n", path, err)
+		return false
+	}
+	ref := make(map[string]float64, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		ref[baseName(b.Name)] = b.NsPerOp
+	}
+	ok := true
+	checked := 0
+	for _, b := range doc.Benchmarks {
+		if !gated(b.Name) {
+			continue
+		}
+		want, found := ref[baseName(b.Name)]
+		if !found || want <= 0 {
+			continue
+		}
+		checked++
+		ratio := b.NsPerOp / want
+		if ratio > factor {
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s: %.0f ns/op vs baseline %.0f (%.2fx > %.2fx allowed)\n",
+				b.Name, b.NsPerOp, want, ratio, factor)
+			ok = false
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: ok %s: %.0f ns/op vs baseline %.0f (%.2fx)\n",
+				b.Name, b.NsPerOp, want, ratio)
+		}
+	}
+	if checked == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: compare: no gated benchmarks shared with %s\n", path)
+		return false
+	}
+	return ok
 }
 
 // parseLine parses one `BenchmarkX-N   iters   1234 ns/op [ 56 B/op  7 allocs/op ]` line.

@@ -31,42 +31,49 @@ func renderResult(p *bytecode.Program, res *core.Result) string {
 }
 
 // TestParallelDeterminism asserts the acceptance criteria of the
-// parallel and shared-replay engines together: for every built-in
-// workload, verdicts and reports are byte-identical across a fully
-// sequential run (-parallel 1), a fanned-out run (-parallel 8), and —
-// at both widths — runs with the reuse caches (replay checkpoint store,
-// solver memo) disabled. Run under -race this also exercises the
-// engine's synchronization: shared solver and its cache, shared fork
-// budget, concurrent cloning of pre-race checkpoints, and concurrent
-// access to the checkpoint store.
+// parallel, shared-replay, and fused-interpreter engines together: for
+// every built-in workload, verdicts and reports are byte-identical
+// across a fully sequential run (-parallel 1), a fanned-out run
+// (-parallel 8), runs with the reuse caches (replay checkpoint store,
+// solver memo) disabled at both widths, and runs of the program compiled
+// without the superinstruction fusion pass — the overlay must only
+// change how fast instructions dispatch, never what they compute or how
+// they are counted. Run under -race this also exercises the engine's
+// synchronization: shared solver and its cache, shared fork budget,
+// concurrent cloning of pre-race checkpoints, and concurrent access to
+// the checkpoint store.
 func TestParallelDeterminism(t *testing.T) {
 	for _, w := range workloads.All() {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
 			t.Parallel()
 			p := w.Compile()
+			pNoFuse := bytecode.MustCompile(w.Source, w.Name, bytecode.Options{NoFuse: true})
 
-			optsFor := func(parallel int, noCache bool) core.Options {
+			optsFor := func(prog *bytecode.Program, parallel int, noCache bool) core.Options {
 				opts := core.DefaultOptions()
 				opts.Parallel = parallel
 				opts.NoCache = noCache
 				if w.Predicates != nil {
-					opts.Predicates = w.Predicates(p)
+					opts.Predicates = w.Predicates(prog)
 				}
 				return opts
 			}
 
-			want := renderResult(p, core.Run(p, w.Args, w.Inputs, optsFor(1, false)))
+			want := renderResult(p, core.Run(p, w.Args, w.Inputs, optsFor(p, 1, false)))
 			for _, cfg := range []struct {
 				name     string
+				prog     *bytecode.Program
 				parallel int
 				noCache  bool
 			}{
-				{"parallel=8 caches=on", 8, false},
-				{"parallel=1 caches=off", 1, true},
-				{"parallel=8 caches=off", 8, true},
+				{"parallel=8 caches=on", p, 8, false},
+				{"parallel=1 caches=off", p, 1, true},
+				{"parallel=8 caches=off", p, 8, true},
+				{"parallel=1 fusion=off", pNoFuse, 1, false},
+				{"parallel=8 fusion=off caches=off", pNoFuse, 8, true},
 			} {
-				got := renderResult(p, core.Run(p, w.Args, w.Inputs, optsFor(cfg.parallel, cfg.noCache)))
+				got := renderResult(cfg.prog, core.Run(cfg.prog, w.Args, w.Inputs, optsFor(cfg.prog, cfg.parallel, cfg.noCache)))
 				if got != want {
 					t.Errorf("verdicts differ between -parallel 1 caches=on and %s\n--- want ---\n%s\n--- got ---\n%s", cfg.name, want, got)
 				}

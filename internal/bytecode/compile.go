@@ -13,6 +13,13 @@ type Options struct {
 	// turning a synchronization operation into a no-op to ask whether it
 	// is safe to remove (e.g. to reduce lock contention).
 	ElideSyncAtLines []int
+
+	// NoFuse disables the superinstruction fusion pass (fuse.go). Fusion
+	// never changes observable behavior — instruction counts, traces, and
+	// verdicts are bit-identical either way, which the determinism suite
+	// asserts by diffing fused against unfused runs — so the gate exists
+	// for that assertion and for ablation timing.
+	NoFuse bool
 }
 
 // CompileError is a semantic error with a source position.
@@ -105,6 +112,9 @@ func Compile(src *lang.Program, name string, opts Options) (*Program, error) {
 	}
 	c.prog.MainFunc = main
 	c.prog.computeWriteSets()
+	if !opts.NoFuse {
+		c.prog.fuse()
+	}
 	return c.prog, nil
 }
 

@@ -24,6 +24,15 @@ type Func struct {
 	NParams int
 	NLocals int // including parameters and compiler temporaries
 	Code    []Instr
+
+	// Fused is the superinstruction overlay produced by the compile-time
+	// fusion pass (see fuse.go): Fused[pc] describes the fused sequence
+	// starting at pc, or has Kind FuseNone. nil when the function has no
+	// fusable sequences or the program was compiled with Options.NoFuse.
+	// The overlay never changes execution semantics or instruction
+	// accounting — it only lets the VM execute the covered instructions
+	// in one dispatch.
+	Fused []FusedInstr
 }
 
 // PrintPart is one element of a print descriptor: either a literal string
@@ -184,7 +193,11 @@ func (p *Program) Disasm() string {
 		f := &p.Funcs[fi]
 		fmt.Fprintf(&b, "fn %s (params=%d locals=%d)\n", f.Name, f.NParams, f.NLocals)
 		for pc, in := range f.Code {
-			fmt.Fprintf(&b, "  %4d  %-14s ; line %d\n", pc, in.String(), in.Line)
+			note := ""
+			if pc < len(f.Fused) && f.Fused[pc].Kind != FuseNone {
+				note = fmt.Sprintf(" [fused x%d]", f.Fused[pc].Len)
+			}
+			fmt.Fprintf(&b, "  %4d  %-14s ; line %d%s\n", pc, in.String(), in.Line, note)
 		}
 	}
 	return b.String()

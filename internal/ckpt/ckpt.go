@@ -41,18 +41,30 @@ type entry struct {
 // Store holds replay checkpoints for one recorded trace, ordered by the
 // global instruction count at which they were taken. It is safe for
 // concurrent use by the parallel classification engine.
+//
+// When the store reaches capacity it thins instead of refusing: every
+// other entry is dropped (halving the population while keeping it spread
+// across the trace) and the minimum step gap between retained entries
+// doubles, so subsequent Adds that would re-crowd an already-covered
+// region are rejected cheaply. Long traces therefore keep a bounded,
+// roughly stride-uniform set of resume points instead of dense coverage
+// of the trace prefix and nothing beyond it. Thinning only discards
+// memoized replay time — a dropped checkpoint means the nearest earlier
+// one (or the root) is used — so it can never change a verdict.
 type Store struct {
 	mu      sync.Mutex
 	entries []entry // sorted by steps, ascending
 	max     int
+	stride  int64 // minimum step gap enforced between entries; grows on thinning
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits     atomic.Int64
+	misses   atomic.Int64
+	thinning atomic.Int64 // entries dropped by capacity thinning
 }
 
 // NewStore returns a store bounded to max entries (<= 0 means the
-// default of 64). When full, further Adds are dropped: the store is a
-// cache, never an obligation.
+// default of 64). The store is a cache, never an obligation: at capacity
+// it thins existing entries by stride (see Store) rather than growing.
 func NewStore(max int) *Store {
 	if max <= 0 {
 		max = 64
@@ -73,19 +85,100 @@ func (s *Store) Hits() int { return int(s.hits.Load()) }
 // Misses returns how many Resume calls fell back to a full replay.
 func (s *Store) Misses() int { return int(s.misses.Load()) }
 
+// Thinned returns how many stored checkpoints capacity thinning dropped.
+func (s *Store) Thinned() int { return int(s.thinning.Load()) }
+
+// Stride returns the current minimum step gap between entries (0 until
+// the first thinning).
+func (s *Store) Stride() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stride
+}
+
+// admissible reports whether an entry at steps may be inserted: not a
+// duplicate, and at least stride steps from both sorted neighbors.
+// Caller must hold s.mu; i is the insertion index for steps.
+func (s *Store) admissible(i int, steps int64) bool {
+	if i < len(s.entries) && s.entries[i].steps == steps {
+		return false
+	}
+	if s.stride > 0 {
+		if i > 0 && steps-s.entries[i-1].steps < s.stride {
+			return false
+		}
+		if i < len(s.entries) && s.entries[i].steps-steps < s.stride {
+			return false
+		}
+	}
+	return true
+}
+
+// thinLocked drops every other entry (keeping the first) and raises the
+// stride to the smallest gap between survivors, so re-crowding a thinned
+// region is rejected at Add. Caller must hold s.mu.
+func (s *Store) thinLocked() {
+	if len(s.entries) < 2 {
+		return
+	}
+	kept := s.entries[:0]
+	for i := range s.entries {
+		if i%2 == 0 {
+			kept = append(kept, s.entries[i])
+		}
+	}
+	s.thinning.Add(int64(len(s.entries) - len(kept)))
+	// Zero the vacated tail so dropped states are collectable.
+	for i := len(kept); i < len(s.entries); i++ {
+		s.entries[i] = entry{}
+	}
+	s.entries = kept
+	minGap := int64(0)
+	for i := 1; i < len(kept); i++ {
+		if g := kept[i].steps - kept[i-1].steps; minGap == 0 || g < minGap {
+			minGap = g
+		}
+	}
+	if minGap > s.stride*2 {
+		s.stride = minGap
+	} else if s.stride > 0 {
+		s.stride *= 2
+	} else {
+		s.stride = 1
+	}
+}
+
+// makeRoomLocked prepares the store for an entry at steps: an entry
+// that is inadmissible as the store stands (duplicate, or inside the
+// current stride of a neighbor) is rejected *before* any thinning, so a
+// doomed Add never costs stored checkpoints; only an entry that would
+// actually land triggers thinning at capacity. Thinning doubles the
+// stride, which may itself disqualify the entry — reported by the
+// second admissibility check. Caller must hold s.mu.
+func (s *Store) makeRoomLocked(steps int64) bool {
+	if !s.admissible(s.search(steps), steps) {
+		return false
+	}
+	if len(s.entries) >= s.max {
+		s.thinLocked()
+		if len(s.entries) >= s.max {
+			// Nothing could be thinned away (max <= 1): keep the existing
+			// entry and refuse the insert — the bound is a hard promise.
+			return false
+		}
+	}
+	return s.admissible(s.search(steps), steps)
+}
+
 // Add snapshots st (at st.Steps) together with its controller. Both are
 // deep-cloned, so the caller keeps running its own copies untouched. An
-// entry at the same step count already present, or a full store, makes
-// Add a no-op.
+// entry at the same step count already present, or one closer than the
+// thinning stride to an existing neighbor, makes Add a no-op; a full
+// store thins itself (see Store) to make room for an admissible entry.
 func (s *Store) Add(st *vm.State, ctl vm.CloneableController) {
 	steps := st.Steps
 	s.mu.Lock()
-	if len(s.entries) >= s.max {
-		s.mu.Unlock()
-		return
-	}
-	i := s.search(steps)
-	if i < len(s.entries) && s.entries[i].steps == steps {
+	if !s.makeRoomLocked(steps) {
 		s.mu.Unlock()
 		return
 	}
@@ -97,13 +190,10 @@ func (s *Store) Add(st *vm.State, ctl vm.CloneableController) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.entries) >= s.max {
+	if !s.makeRoomLocked(steps) {
 		return
 	}
-	i = s.search(steps)
-	if i < len(s.entries) && s.entries[i].steps == steps {
-		return
-	}
+	i := s.search(steps)
 	s.entries = append(s.entries, entry{})
 	copy(s.entries[i+1:], s.entries[i:])
 	s.entries[i] = e

@@ -103,11 +103,106 @@ func TestStoreCapacity(t *testing.T) {
 	for _, n := range []int64{10, 20, 30} {
 		s.Add(stateAt(t, n), vm.NewRoundRobin())
 	}
+	// The third Add thins ({10,20} -> {10}) instead of being refused, so
+	// the store keeps covering the whole trace.
 	if s.Len() != 2 {
 		t.Fatalf("cap ignored: len = %d, want 2", s.Len())
 	}
-	if _, _, steps, ok := s.Resume(100, nil); !ok || steps != 20 {
-		t.Fatalf("Resume after cap = steps %d ok %v, want 20 true", steps, ok)
+	if s.Thinned() != 1 {
+		t.Errorf("thinned = %d, want 1", s.Thinned())
+	}
+	if _, _, steps, ok := s.Resume(100, nil); !ok || steps != 30 {
+		t.Fatalf("Resume after thinning = steps %d ok %v, want 30 true", steps, ok)
+	}
+}
+
+// TestStoreStrideThinning drives a long ascending trace through a small
+// store: capacity must trigger stride thinning (not insert refusal), the
+// surviving entries must stay spread over the whole step range, and Adds
+// landing inside the stride of a retained neighbor must be rejected.
+func TestStoreStrideThinning(t *testing.T) {
+	s := NewStore(8)
+	for n := int64(10); n <= 250; n += 10 {
+		s.Add(stateAt(t, n), vm.NewRoundRobin())
+	}
+	// Deterministic evolution: fill {10..80}; thin to {10,30,50,70}
+	// (stride 20), admit 90,110,130,150; thin to {10,50,90,130} (stride
+	// 40), admit 170,210,250.
+	if got := s.Len(); got != 7 {
+		t.Fatalf("len = %d, want 7", got)
+	}
+	if got := s.Stride(); got != 40 {
+		t.Errorf("stride = %d, want 40", got)
+	}
+	if got := s.Thinned(); got != 8 {
+		t.Errorf("thinned = %d, want 8", got)
+	}
+	// Coverage spans the whole trace: early, middle, and late resumes all
+	// find a nearby checkpoint.
+	for _, tc := range []struct{ limit, want int64 }{
+		{49, 10}, {125, 90}, {249, 210}, {250, 250},
+	} {
+		if _, _, steps, ok := s.Resume(tc.limit, nil); !ok || steps != tc.want {
+			t.Errorf("Resume(%d) = steps %d ok %v, want %d true", tc.limit, steps, ok, tc.want)
+		}
+	}
+	// An Add within the stride of a retained neighbor is a no-op.
+	s.Add(stateAt(t, 251), vm.NewRoundRobin())
+	if got := s.Len(); got != 7 {
+		t.Errorf("stride-violating add was admitted: len = %d, want 7", got)
+	}
+	// An Add beyond the stride is admitted.
+	s.Add(stateAt(t, 290), vm.NewRoundRobin())
+	if got := s.Len(); got != 8 {
+		t.Errorf("stride-respecting add was rejected: len = %d, want 8", got)
+	}
+}
+
+// TestStoreDoomedAddDoesNotThin guards the ordering of rejection vs
+// thinning: an Add that is inadmissible as the store stands (duplicate
+// or stride-violating) arriving at capacity must be refused outright —
+// not trigger a thinning that halves the stored checkpoints and then
+// insert nothing.
+func TestStoreDoomedAddDoesNotThin(t *testing.T) {
+	s := NewStore(4)
+	for _, n := range []int64{10, 20, 30, 40} {
+		s.Add(stateAt(t, n), vm.NewRoundRobin())
+	}
+	// Duplicate at capacity: no thinning, no change.
+	s.Add(stateAt(t, 30), vm.NewRoundRobin())
+	if s.Len() != 4 || s.Thinned() != 0 {
+		t.Fatalf("duplicate add at capacity thinned the store: len=%d thinned=%d", s.Len(), s.Thinned())
+	}
+	// Admissible add at capacity thins and inserts: {10,30} stride 20,
+	// then 50 lands.
+	s.Add(stateAt(t, 50), vm.NewRoundRobin())
+	if s.Len() != 3 || s.Thinned() != 2 || s.Stride() != 20 {
+		t.Fatalf("after admissible add: len=%d thinned=%d stride=%d, want 3/2/20", s.Len(), s.Thinned(), s.Stride())
+	}
+	s.Add(stateAt(t, 70), vm.NewRoundRobin()) // back to capacity: {10,30,50,70}
+	if s.Len() != 4 {
+		t.Fatalf("len = %d, want 4", s.Len())
+	}
+	// Stride-violating add at capacity: refused before any thinning.
+	s.Add(stateAt(t, 80), vm.NewRoundRobin())
+	if s.Len() != 4 || s.Thinned() != 2 {
+		t.Fatalf("stride-violating add at capacity thinned the store: len=%d thinned=%d", s.Len(), s.Thinned())
+	}
+}
+
+// TestStoreCapacityOne guards the degenerate bound: a single-entry store
+// must never exceed one entry (thinning cannot shrink a one-entry
+// population, so further Adds are refused outright).
+func TestStoreCapacityOne(t *testing.T) {
+	s := NewStore(1)
+	s.Add(stateAt(t, 10), vm.NewRoundRobin())
+	s.Add(stateAt(t, 20), vm.NewRoundRobin())
+	s.Add(stateAt(t, 30), vm.NewRoundRobin())
+	if s.Len() != 1 {
+		t.Fatalf("max=1 store holds %d entries", s.Len())
+	}
+	if _, _, steps, ok := s.Resume(100, nil); !ok || steps != 10 {
+		t.Fatalf("Resume = steps %d ok %v, want 10 true", steps, ok)
 	}
 }
 

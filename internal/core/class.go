@@ -247,6 +247,23 @@ type Stats struct {
 	// narrower than the configuration asked for.
 	TruncatedPaths int
 
+	// Interpreter fast-path accounting for this classification's machines
+	// (replay, enforcement, multi-path segments). FusedOps counts
+	// superinstructions executed — each stands for several original
+	// instructions dispatched as one; InternedConsts counts constants the
+	// expression intern table served without allocating. Like
+	// SolverQueries, both depend on how much speculative work the pool
+	// ran, so they may vary with pool width while the verdict does not.
+	FusedOps       int64
+	InternedConsts int64
+
+	// SolverCacheEvictions counts entries the shared solver memo evicted
+	// (LRU) while this race classified. The cache is run-wide, so under a
+	// parallel pool concurrent classifications' evictions land in
+	// whichever race was being timed — a warmth indicator, not a precise
+	// per-race cost.
+	SolverCacheEvictions int
+
 	Duration time.Duration
 }
 

@@ -26,6 +26,11 @@ type Classifier struct {
 	shared   *sharedCaches
 	ckptHits int
 
+	// vmCounters aggregates interpreter fast-path tallies (fused
+	// superinstructions, interned constants) across every machine this
+	// classification creates, including the parallel alternate workers.
+	vmCounters vm.Counters
+
 	// ctx/interrupt carry ClassifyCtx's cancellation to every machine,
 	// exploration loop, and solver query the classification spawns.
 	// They are set once per ClassifyCtx call, before any concurrent
@@ -42,10 +47,12 @@ func (c *Classifier) canceled() error {
 	return c.ctx.Err()
 }
 
-// newMachine builds a machine wired to the classification's cancellation.
+// newMachine builds a machine wired to the classification's cancellation
+// and fast-path accounting.
 func (c *Classifier) newMachine(st *vm.State, ctl vm.Controller) *vm.Machine {
 	m := vm.NewMachine(st, ctl)
 	m.Interrupt = c.interrupt
+	m.Counters = &c.vmCounters
 	return m
 }
 
@@ -115,9 +122,7 @@ func (c *Classifier) ClassifyCtx(cctx context.Context, rep *race.Report, tr *tra
 	}
 
 	start := time.Now()
-	q0 := c.sol.Queries()
-	ch0 := c.sol.CacheHits()
-	k0 := c.ckptHits
+	snap := c.snapStats()
 	v := &Verdict{Race: rep, K: 1}
 	v.Stats.Preemptions = len(tr.Decisions)
 
@@ -136,7 +141,7 @@ func (c *Classifier) ClassifyCtx(cctx context.Context, rep *race.Report, tr *tra
 		v.Consequence = a.consequence
 		v.Detail = a.detail
 		v.OutputDiff = a.outDiff
-		c.finishStats(v, nil, q0, ch0, k0, start)
+		c.finishStats(v, nil, snap, start)
 		return v, nil
 	}
 
@@ -145,7 +150,7 @@ func (c *Classifier) ClassifyCtx(cctx context.Context, rep *race.Report, tr *tra
 		// matched — a 1-witness harmless verdict.
 		v.Class = KWitnessHarmless
 		v.K = 1
-		c.finishStats(v, nil, q0, ch0, k0, start)
+		c.finishStats(v, nil, snap, start)
 		return v, nil
 	}
 
@@ -163,14 +168,40 @@ func (c *Classifier) ClassifyCtx(cctx context.Context, rep *race.Report, tr *tra
 			v.K = 1
 		}
 	}
-	c.finishStats(v, mp, q0, ch0, k0, start)
+	c.finishStats(v, mp, snap, start)
 	return v, nil
 }
 
-func (c *Classifier) finishStats(v *Verdict, mp *mpResult, q0, ch0, k0 int, start time.Time) {
-	v.Stats.SolverQueries = c.sol.Queries() - q0
-	v.Stats.SolverCacheHits = c.sol.CacheHits() - ch0
-	v.Stats.CheckpointHits = c.ckptHits - k0
+// statsSnap is the counter baseline taken at the start of one
+// classification; finishStats turns it into per-race deltas.
+type statsSnap struct {
+	queries, cacheHits, ckptHits, evictions int
+	fused, interned                         int64
+}
+
+func (c *Classifier) snapStats() statsSnap {
+	s := statsSnap{
+		queries:   c.sol.Queries(),
+		cacheHits: c.sol.CacheHits(),
+		ckptHits:  c.ckptHits,
+		fused:     c.vmCounters.FusedOps.Load(),
+		interned:  c.vmCounters.InternedConsts.Load(),
+	}
+	if c.sol.Cache != nil {
+		s.evictions = c.sol.Cache.Evictions()
+	}
+	return s
+}
+
+func (c *Classifier) finishStats(v *Verdict, mp *mpResult, snap statsSnap, start time.Time) {
+	v.Stats.SolverQueries = c.sol.Queries() - snap.queries
+	v.Stats.SolverCacheHits = c.sol.CacheHits() - snap.cacheHits
+	v.Stats.CheckpointHits = c.ckptHits - snap.ckptHits
+	v.Stats.FusedOps = c.vmCounters.FusedOps.Load() - snap.fused
+	v.Stats.InternedConsts = c.vmCounters.InternedConsts.Load() - snap.interned
+	if c.sol.Cache != nil {
+		v.Stats.SolverCacheEvictions = c.sol.Cache.Evictions() - snap.evictions
+	}
 	if mp != nil {
 		v.Stats.Branches = mp.branches
 		v.Stats.PrimaryPaths = mp.primaries

@@ -106,6 +106,8 @@ type Expr interface {
 // Const is a concrete 64-bit integer.
 type Const struct {
 	Val int64
+
+	h uint64 // memoized structural hash; 0 = not memoized
 }
 
 // Sym is a symbolic variable (an unconstrained program input). Symbols are
@@ -113,18 +115,24 @@ type Const struct {
 // ("input:3", "arg:1", ...).
 type Sym struct {
 	Name string
+
+	h uint64
 }
 
 // Unary applies Op to a single operand.
 type Unary struct {
 	Op Op
 	X  Expr
+
+	h uint64
 }
 
 // Binary applies Op to two operands.
 type Binary struct {
 	Op   Op
 	L, R Expr
+
+	h uint64
 }
 
 func (*Const) isExpr()  {}
@@ -139,21 +147,49 @@ func (b *Binary) String() string {
 	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
 }
 
-// Common constants, shared to reduce allocation.
-var (
-	zero = &Const{0}
-	one  = &Const{1}
+// The intern table: one shared immutable Const per value in
+// [InternMin, InternMax). These values — loop counters, array indices,
+// small bounds, flags — dominate real programs, and the VM mints a Const
+// on every PUSH, local/global initialization, and spawn, so serving them
+// from the table removes an allocation from nearly every interpreted
+// arithmetic instruction. Interned nodes are constructed once during
+// package init and never written afterwards, which is what makes sharing
+// them between concurrent classifiers safe.
+const (
+	// InternMin is the smallest interned constant value.
+	InternMin = -128
+	// InternMax is one past the largest interned constant value.
+	InternMax = 1024
 )
 
-// NewConst returns a Const with the given value.
-func NewConst(v int64) *Const {
-	switch v {
-	case 0:
-		return zero
-	case 1:
-		return one
+var internTab = func() [InternMax - InternMin]*Const {
+	var t [InternMax - InternMin]*Const
+	for i := range t {
+		v := int64(i) + InternMin
+		t[i] = &Const{Val: v, h: hashConst(v)}
 	}
-	return &Const{v}
+	return t
+}()
+
+// Common constants, shared to reduce allocation.
+var (
+	zero = internTab[0-InternMin]
+	one  = internTab[1-InternMin]
+)
+
+// Interned reports whether NewConst(v) is served from the intern table
+// (i.e. without allocating). The VM uses this to count intern hits on its
+// hot path without reaching into the table itself.
+func Interned(v int64) bool { return v >= InternMin && v < InternMax }
+
+// NewConst returns a Const with the given value. Values in
+// [InternMin, InternMax) are served from the shared intern table and do
+// not allocate.
+func NewConst(v int64) *Const {
+	if v >= InternMin && v < InternMax {
+		return internTab[v-InternMin]
+	}
+	return &Const{Val: v, h: hashConst(v)}
 }
 
 // Bool converts a Go bool to the canonical 0/1 Const.
@@ -165,7 +201,7 @@ func Bool(b bool) *Const {
 }
 
 // NewSym returns a symbolic variable with the given name.
-func NewSym(name string) *Sym { return &Sym{Name: name} }
+func NewSym(name string) *Sym { return &Sym{Name: name, h: hashSym(name)} }
 
 // ConstVal reports whether e is a Const and returns its value.
 func ConstVal(e Expr) (int64, bool) {
@@ -282,7 +318,8 @@ func NewBinary(op Op, l, r Expr) Expr {
 		if v, ok := applyBinary(op, lc, rc); ok {
 			return NewConst(v)
 		}
-		return &Binary{Op: op, L: l, R: r} // e.g. division by constant zero
+		// e.g. division by constant zero
+		return &Binary{Op: op, L: l, R: r, h: hashBinary(op, Hash(l), Hash(r))}
 	}
 
 	// Algebraic identities on one concrete operand.
@@ -373,7 +410,7 @@ func NewBinary(op Op, l, r Expr) Expr {
 			return NeZero(l)
 		}
 	}
-	return &Binary{Op: op, L: l, R: r}
+	return &Binary{Op: op, L: l, R: r, h: hashBinary(op, Hash(l), Hash(r))}
 }
 
 // NewUnary builds op(x) with constant folding and double-negation
@@ -398,7 +435,7 @@ func NewUnary(op Op, x Expr) Expr {
 			return NeZero(u.X) // !!x = (x != 0)
 		}
 	}
-	return &Unary{Op: op, X: x}
+	return &Unary{Op: op, X: x, h: hashUnary(op, Hash(x))}
 }
 
 func invertCmp(op Op) (Op, bool) {
@@ -489,6 +526,12 @@ func NeZero(x Expr) Expr {
 func Equal(a, b Expr) bool {
 	if a == b {
 		return true
+	}
+	// Memoized structural hashes are pure functions of structure, so a
+	// mismatch proves inequality without walking either tree. (0 means
+	// "not memoized" — hand-built node — and disables the fast path.)
+	if ha, hb := memoHash(a), memoHash(b); ha != 0 && hb != 0 && ha != hb {
+		return false
 	}
 	switch av := a.(type) {
 	case *Const:

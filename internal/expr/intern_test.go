@@ -1,0 +1,160 @@
+package expr
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternIdentityAndBounds(t *testing.T) {
+	for _, v := range []int64{InternMin, -1, 0, 1, 2, 127, InternMax - 1} {
+		a, b := NewConst(v), NewConst(v)
+		if a != b {
+			t.Errorf("NewConst(%d) not interned: distinct pointers", v)
+		}
+		if a.Val != v {
+			t.Errorf("interned NewConst(%d).Val = %d", v, a.Val)
+		}
+		if !Interned(v) {
+			t.Errorf("Interned(%d) = false inside the table range", v)
+		}
+	}
+	for _, v := range []int64{InternMin - 1, InternMax, 1 << 40, -(1 << 40)} {
+		if Interned(v) {
+			t.Errorf("Interned(%d) = true outside the table range", v)
+		}
+		if a, b := NewConst(v), NewConst(v); a == b {
+			t.Errorf("NewConst(%d): out-of-range constants unexpectedly shared", v)
+		} else if a.Val != v || b.Val != v {
+			t.Errorf("NewConst(%d) wrong value", v)
+		}
+	}
+}
+
+func TestStructuralHash(t *testing.T) {
+	x, y := NewSym("x"), NewSym("y")
+	same := []Expr{
+		NewBinary(OpAdd, x, NewConst(4)),
+		NewBinary(OpAdd, NewSym("x"), NewConst(4)),
+	}
+	if Hash(same[0]) != Hash(same[1]) {
+		t.Error("structurally equal expressions hash differently")
+	}
+	distinct := []Expr{
+		NewConst(5),
+		NewConst(6),
+		NewSym("x"),
+		NewSym("y"),
+		NewBinary(OpAdd, x, y),
+		NewBinary(OpAdd, y, x), // operand order matters for non-folded ops
+		NewBinary(OpSub, x, y),
+		NewUnary(OpBNot, x),
+		NewBinary(OpLt, x, NewConst(200000)),
+		NewBinary(OpLt, x, NewConst(200001)),
+	}
+	seen := map[uint64]Expr{}
+	for _, e := range distinct {
+		h := Hash(e)
+		if h == 0 {
+			t.Errorf("memoized hash of %s is 0 (reserved for 'not memoized')", e)
+		}
+		if prev, dup := seen[h]; dup {
+			t.Errorf("hash collision between %s and %s", prev, e)
+		}
+		seen[h] = e
+	}
+	// Hand-built nodes (no memoized hash) agree with constructor-built.
+	hand := &Binary{Op: OpAdd, L: &Sym{Name: "x"}, R: &Const{Val: 4}}
+	if Hash(hand) != Hash(same[0]) {
+		t.Error("on-the-fly hash of a hand-built node differs from the memoized one")
+	}
+	if !Equal(hand, same[0]) {
+		t.Error("Equal rejects a hand-built structural twin")
+	}
+}
+
+// TestInternSharedConcurrently proves interned constants and memoized
+// hashes are immutable in practice: concurrent classifiers share the
+// nodes freely, so this test — run under -race in CI — hammers the
+// table, the hash memos, and structural comparison from many goroutines
+// at once. Any post-publication write to a shared node would trip the
+// race detector.
+func TestInternSharedConcurrently(t *testing.T) {
+	// One shared DAG, built once, read by everyone.
+	x := NewSym("x")
+	shared := NewBinary(OpMul, NewBinary(OpAdd, x, NewConst(7)), NewConst(3))
+	wantHash := Hash(shared)
+	wantStr := shared.String()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				v := int64(i % (InternMax - InternMin))
+				c := NewConst(v + InternMin)
+				if c != NewConst(v+InternMin) {
+					errs <- fmt.Errorf("g%d: intern identity broken for %d", g, v+InternMin)
+					return
+				}
+				// Fold through the table: concrete arithmetic lands back
+				// on interned nodes.
+				sum := NewBinary(OpAdd, c, NewConst(1))
+				if cv, ok := ConstVal(sum); !ok || cv != c.Val+1 {
+					errs <- fmt.Errorf("g%d: folding through interned nodes broke", g)
+					return
+				}
+				// Hash and render the shared DAG; both must be stable.
+				if Hash(shared) != wantHash {
+					errs <- fmt.Errorf("g%d: shared DAG hash changed", g)
+					return
+				}
+				if i%97 == 0 && shared.String() != wantStr {
+					errs <- fmt.Errorf("g%d: shared DAG rendering changed", g)
+					return
+				}
+				// Build a structural twin concurrently and compare.
+				twin := NewBinary(OpMul, NewBinary(OpAdd, NewSym("x"), NewConst(7)), NewConst(3))
+				if !Equal(twin, shared) || Hash(twin) != wantHash {
+					errs <- fmt.Errorf("g%d: concurrent twin mismatch", g)
+					return
+				}
+				// Substitution over the shared DAG produces fresh (or
+				// interned) nodes, never mutates in place.
+				if r, err := Eval(shared, Assignment{"x": v}); err != nil || r != (v+7)*3 {
+					errs <- fmt.Errorf("g%d: eval over shared DAG = %d, %v", g, r, err)
+					return
+				}
+				if s := Substitute(shared, Assignment{"x": v}); s == nil {
+					errs <- fmt.Errorf("g%d: substitute returned nil", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if Hash(shared) != wantHash || shared.String() != wantStr {
+		t.Error("shared DAG changed after concurrent use")
+	}
+}
+
+// TestNewConstAllocFree guards the hot-path claim: interned constants
+// cost zero allocations.
+func TestNewConstAllocFree(t *testing.T) {
+	var sink *Const
+	allocs := testing.AllocsPerRun(200, func() {
+		for v := int64(InternMin); v < InternMax; v += 17 {
+			sink = NewConst(v)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("interned NewConst allocates %v times per run, want 0", allocs)
+	}
+	_ = sink
+}

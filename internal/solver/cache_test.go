@@ -132,12 +132,64 @@ func TestCacheCapacity(t *testing.T) {
 	if cache.Len() != 2 {
 		t.Errorf("cache len = %d, want cap 2", cache.Len())
 	}
-	// Entries admitted before the cap still answer.
-	h0 := cache.Hits()
-	s.Solve([]expr.Expr{expr.Eq(x(), c(0))}, nil)
-	if cache.Hits() != h0+1 {
-		t.Error("capped cache no longer answers existing entries")
+	if cache.Evictions() != 3 {
+		t.Errorf("evictions = %d, want 3", cache.Evictions())
 	}
+	// LRU: the most recent queries survive, the oldest were evicted.
+	h0 := cache.Hits()
+	s.Solve([]expr.Expr{expr.Eq(x(), c(4))}, nil)
+	if cache.Hits() != h0+1 {
+		t.Error("most recent entry was evicted")
+	}
+	m0 := cache.Misses()
+	s.Solve([]expr.Expr{expr.Eq(x(), c(0))}, nil)
+	if cache.Misses() != m0+1 {
+		t.Error("least recently used entry unexpectedly survived")
+	}
+}
+
+func TestCacheLRUTouchOnHit(t *testing.T) {
+	cache := NewCache(2)
+	s := New(Options{})
+	s.Cache = cache
+	qa := []expr.Expr{expr.Eq(x(), c(1))}
+	qb := []expr.Expr{expr.Eq(x(), c(2))}
+	qc := []expr.Expr{expr.Eq(x(), c(3))}
+	s.Solve(qa, nil)
+	s.Solve(qb, nil)
+	s.Solve(qa, nil) // touch qa: qb becomes least recently used
+	s.Solve(qc, nil) // evicts qb
+	h0 := cache.Hits()
+	s.Solve(qa, nil)
+	if cache.Hits() != h0+1 {
+		t.Error("touched entry was evicted despite being recently used")
+	}
+	m0 := cache.Misses()
+	s.Solve(qb, nil)
+	if cache.Misses() != m0+1 {
+		t.Error("untouched entry survived over the touched one")
+	}
+}
+
+// TestQueryHashAllocFree is the regression guard of the key-building hot
+// path: rendering keys must never return to allocating (the old
+// implementation built a string per lookup).
+func TestQueryHashAllocFree(t *testing.T) {
+	flat := []expr.Expr{
+		expr.Gt(x(), c(3)),
+		expr.Lt(expr.Add(x(), expr.NewSym("y")), c(4000)),
+		expr.Ne(expr.NewSym("y"), c(0)),
+	}
+	names := []string{"x", "y"}
+	hints := expr.Assignment{"x": 5, "y": 7}
+	var sink uint64
+	allocs := testing.AllocsPerRun(200, func() {
+		sink += queryHash(flat, names, hints)
+	})
+	if allocs != 0 {
+		t.Errorf("queryHash allocates %v times per call, want 0", allocs)
+	}
+	_ = sink
 }
 
 func TestCacheKeyCanonicalOrder(t *testing.T) {

@@ -459,17 +459,17 @@ func (s *Solver) Solve(constraints []expr.Expr, hints expr.Assignment) (expr.Ass
 	}
 	sort.Strings(names)
 
-	var key string
+	var key uint64
 	if s.Cache != nil {
-		key = cacheKey(flat, names, hints)
-		if model, res, hit := s.Cache.get(key); hit {
+		key = queryHash(flat, names, hints)
+		if model, res, hit := s.Cache.get(key, flat, names, hints); hit {
 			s.cacheHits.Add(1)
 			return model, res
 		}
 	}
 	model, res, interrupted := s.search(flat, names, hints)
 	if s.Cache != nil && !interrupted {
-		s.Cache.put(key, model, res)
+		s.Cache.put(key, flat, names, hints, model, res)
 	}
 	return model, res
 }

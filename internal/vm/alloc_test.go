@@ -1,0 +1,166 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/bytecode"
+)
+
+// tightLoopSrc is a pure thread-local arithmetic loop: the whole body is
+// LOADL/PUSH/binop/STOREL traffic whose values stay inside the expr
+// intern range, so a warm interpreter must execute it without a single
+// heap allocation. The & mask keeps i within [0, 128).
+const tightLoopSrc = `
+fn main() {
+	let i = 0
+	while 1 {
+		i = (i + 1) & 127
+	}
+}`
+
+func tightLoopMachine(t *testing.T, noFuse bool) *Machine {
+	t.Helper()
+	p := bytecode.MustCompile(tightLoopSrc, "tightloop", bytecode.Options{NoFuse: noFuse})
+	st := NewState(p, nil, nil)
+	m := NewMachine(st, NewRoundRobin())
+	// Warm up: let the operand stack and runnable scratch reach their
+	// steady-state capacity.
+	if res := m.Run(2_000); res.Kind != StopBudget {
+		t.Fatalf("warm-up run: %v", res.Kind)
+	}
+	return m
+}
+
+// TestExecAllocFree is the regression guard for the interpreter's
+// allocation-lean hot path (intern table + superinstruction fusion): a
+// tight arithmetic loop must execute with zero allocations per
+// instruction, fused and unfused alike. Before the intern table, every
+// arithmetic op minted a Const on the heap.
+func TestExecAllocFree(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		noFuse bool
+	}{
+		{"fused", false},
+		{"unfused", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := tightLoopMachine(t, tc.noFuse)
+			allocs := testing.AllocsPerRun(20, func() {
+				if res := m.Run(5_000); res.Kind != StopBudget {
+					t.Fatalf("run: %v", res.Kind)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("tight loop allocates %v times per 5000 instructions, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestFusedMatchesUnfused locks the superinstruction overlay to the
+// plain interpreter instruction by instruction: the same program
+// compiled with and without fusion must land on identical memory,
+// identical per-thread instruction counts, and identical total steps at
+// every budget — including budgets that land inside a fused sequence
+// (where the fused machine must fall back to single-instruction
+// execution rather than overshoot).
+func TestFusedMatchesUnfused(t *testing.T) {
+	src := `
+var g = 0
+fn main() {
+	let i = 0
+	let acc = 0
+	while i < 40 {
+		i = i + 1
+		acc = acc + (i * 3) - 1
+		if i > 20 {
+			acc = acc - 2
+		}
+	}
+	g = acc
+	print("acc=", acc)
+}`
+	fused := bytecode.MustCompile(src, "fusecheck", bytecode.Options{})
+	plain := bytecode.MustCompile(src, "fusecheck", bytecode.Options{NoFuse: true})
+	if fused.FusedCount() == 0 {
+		t.Fatal("fusion pass found nothing to fuse in an arithmetic loop")
+	}
+	if plain.FusedCount() != 0 {
+		t.Fatal("NoFuse program carries a fusion overlay")
+	}
+	for _, budget := range []int64{-1, 1, 2, 3, 5, 7, 50, 123, 124, 125, 126, 127, 500} {
+		fs := NewState(fused, nil, nil)
+		ps := NewState(plain, nil, nil)
+		fres := NewMachine(fs, NewRoundRobin()).Run(budget)
+		pres := NewMachine(ps, NewRoundRobin()).Run(budget)
+		if fres.Kind != pres.Kind || fres.Steps != pres.Steps {
+			t.Fatalf("budget %d: fused (%v, %d steps) != plain (%v, %d steps)",
+				budget, fres.Kind, fres.Steps, pres.Kind, pres.Steps)
+		}
+		if fs.Steps != ps.Steps || fs.Threads[0].Instrs != ps.Threads[0].Instrs {
+			t.Fatalf("budget %d: counters diverge: steps %d/%d instrs %d/%d",
+				budget, fs.Steps, ps.Steps, fs.Threads[0].Instrs, ps.Threads[0].Instrs)
+		}
+		if fp, pp := fs.MemoryFingerprint(), ps.MemoryFingerprint(); fp != pp {
+			t.Fatalf("budget %d: memory diverges:\nfused: %s\nplain: %s", budget, fp, pp)
+		}
+		if fs.RenderOutputs() != ps.RenderOutputs() {
+			t.Fatalf("budget %d: outputs diverge", budget)
+		}
+	}
+}
+
+// TestFusedResumesMidSequence parks the unfused interpreter inside what
+// the overlay considers one superinstruction, then hands the state to a
+// fused machine: execution must resume with the remaining original
+// instructions (interior pcs carry no overlay entry) and converge on the
+// same final state.
+func TestFusedResumesMidSequence(t *testing.T) {
+	src := `
+var g = 0
+fn main() {
+	let i = 0
+	while i < 10 {
+		i = i + 1
+	}
+	g = i
+}`
+	fused := bytecode.MustCompile(src, "midseq", bytecode.Options{})
+	plain := bytecode.MustCompile(src, "midseq", bytecode.Options{NoFuse: true})
+	for budget := int64(1); budget < 30; budget++ {
+		// Run unfused for `budget` steps, landing anywhere — including
+		// mid-sequence.
+		st := NewState(plain, nil, nil)
+		NewMachine(st, NewRoundRobin()).Run(budget)
+		// Continue under the fused program: the state's PCs index the
+		// same code, so swapping the program pointer is the same trick
+		// checkpoint restoration uses.
+		st.Prog = fused
+		res := NewMachine(st, NewRoundRobin()).Run(-1)
+		if res.Kind != StopFinished {
+			t.Fatalf("budget %d: resume: %v", budget, res.Kind)
+		}
+		// Reference: straight unfused run.
+		ref := NewState(plain, nil, nil)
+		NewMachine(ref, NewRoundRobin()).Run(-1)
+		if st.MemoryFingerprint() != ref.MemoryFingerprint() {
+			t.Fatalf("budget %d: mid-sequence resume diverged", budget)
+		}
+	}
+}
+
+// TestInternCounters sanity-checks the fast-path tallies surfaced
+// through vm.Counters.
+func TestInternCounters(t *testing.T) {
+	m := tightLoopMachine(t, false)
+	var ctr Counters
+	m.Counters = &ctr
+	m.Run(1_000)
+	if ctr.FusedOps.Load() == 0 {
+		t.Error("no fused superinstructions counted in an arithmetic loop")
+	}
+	if ctr.InternedConsts.Load() == 0 {
+		t.Error("no interned constants counted in an arithmetic loop")
+	}
+}

@@ -1,0 +1,20 @@
+package vm
+
+import "sync/atomic"
+
+// Counters aggregates interpreter fast-path statistics across the many
+// transient Machines one analysis creates (replay, enforcement, every
+// multi-path exploration segment). A Machine tallies locally — plain
+// fields, no synchronization on the instruction path — and flushes the
+// tallies into the attached Counters once per Run call, so concurrent
+// workers sharing one Counters pay one atomic add per run segment, not
+// per instruction.
+type Counters struct {
+	// FusedOps counts superinstructions executed (each stands for
+	// FusedInstr.Len original instructions).
+	FusedOps atomic.Int64
+	// InternedConsts counts constants served from expr's intern table on
+	// behalf of executed PUSH instructions and fused constants — the
+	// allocations the intern table removed from the hot path.
+	InternedConsts atomic.Int64
+}

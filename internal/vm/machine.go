@@ -74,9 +74,17 @@ type Machine struct {
 	PreemptAccesses bool
 
 	// SpinTrack enables the loop diagnosis used on alternate-enforcement
-	// timeouts (infinite loop vs ad-hoc synchronization, §3.5).
+	// timeouts (infinite loop vs ad-hoc synchronization, §3.5). While it
+	// is on, the superinstruction fast path is disabled so the per-
+	// instruction tick window of the diagnosis stays exactly as in
+	// unfused execution.
 	SpinTrack bool
-	spin      map[int]*spinInfo
+	spin      []*spinInfo // per-thread, indexed by tid
+
+	// Counters, when non-nil, receives this machine's fast-path tallies
+	// (fused superinstructions, interned constants) at the end of each
+	// Run call. The classification engine shares one Counters per race.
+	Counters *Counters
 
 	// Interrupt, when non-nil, is polled periodically during Run (and
 	// once on entry); when it reports true the run stops with
@@ -93,6 +101,10 @@ type Machine struct {
 	// Controllers receive it read-only for the duration of PickNext and
 	// must not retain it.
 	scratch []int
+
+	// Local fast-path tallies, flushed into Counters per Run call.
+	fusedOps   int64
+	internHits int64
 }
 
 // NewMachine returns a machine over st with the given controller and the
@@ -127,12 +139,26 @@ const interruptStride = 256
 // unlimited).
 //
 // The loop is the analysis' innermost hot path: every replay, alternate
-// enforcement, and multi-path exploration step goes through it. It
-// therefore consults the scheduler (and builds the runnable set) only at
-// actual scheduling points — sync operations, a blocked/exited current
-// thread, or (with PreemptAccesses) shared accesses — instead of
-// rescanning every thread before every instruction.
+// enforcement, and multi-path exploration step goes through it. Two
+// structural optimizations keep it lean: the scheduler is consulted (and
+// the runnable set rebuilt) only at actual scheduling points — sync
+// operations, a blocked/exited current thread, or (with PreemptAccesses)
+// shared accesses — instead of before every instruction; and straight-
+// line local arithmetic executes through the program's superinstruction
+// overlay (bytecode fusion pass), one dispatch per fused sequence with
+// instruction counters advanced by the full covered length, so traces,
+// budgets, and race coordinates are bit-identical to unfused execution.
 func (m *Machine) Run(budget int64) RunResult {
+	res := m.run(budget)
+	if m.Counters != nil && (m.fusedOps != 0 || m.internHits != 0) {
+		m.Counters.FusedOps.Add(m.fusedOps)
+		m.Counters.InternedConsts.Add(m.internHits)
+		m.fusedOps, m.internHits = 0, 0
+	}
+	return res
+}
+
+func (m *Machine) run(budget int64) RunResult {
 	st := m.St
 	var steps int64
 	var tick int64
@@ -192,6 +218,28 @@ func (m *Machine) Run(budget int64) RunResult {
 			return RunResult{Kind: StopBudget, Steps: steps}
 		}
 
+		// Superinstruction fast path: execute a whole fused sequence in
+		// one dispatch. Interior instructions are thread-local and side-
+		// effect-free (no sync ops, shared accesses, jumps, or failure
+		// paths), so skipping their Break/scheduling checks is sound; the
+		// counters advance by the covered length so budgets and traces
+		// cannot tell the difference. Near budget exhaustion (a stop
+		// could land mid-sequence) and under spin tracking (per-
+		// instruction tick windows) the sequence runs unfused instead.
+		if !m.SpinTrack {
+			if fs := st.Prog.Funcs[fr.Fn].Fused; fs != nil {
+				if f := &fs[fr.PC]; f.Kind != bytecode.FuseNone && (budget < 0 || steps+int64(f.Len) <= budget) {
+					if m.execFused(fr, f) {
+						n := int64(f.Len)
+						th.Instrs += n
+						st.Steps += n
+						steps += n
+						continue
+					}
+				}
+			}
+		}
+
 		completed, err := m.exec(th, fr, in, pcref)
 		if err != nil {
 			return RunResult{Kind: StopError, Err: err, Steps: steps}
@@ -237,7 +285,11 @@ func (m *Machine) Step() RunResult {
 		return st.Steps > before
 	}
 	defer func() { m.Break = saved }()
-	return m.Run(2) // at most a couple of attempts; break fires after one completion
+	// Budget 1: the break fires after one completion, and the remaining
+	// headroom is too small for any fused sequence — Step's exactly-one-
+	// instruction contract holds whether or not the program carries a
+	// fusion overlay.
+	return m.Run(1)
 }
 
 func (m *Machine) pop(th *Thread, fr *Frame, pcref bytecode.PCRef) (expr.Expr, *RuntimeError) {
@@ -280,6 +332,33 @@ func (m *Machine) branch(cond expr.Expr, th *Thread, pcref bytecode.PCRef) (bool
 	return taken, nil
 }
 
+// execFused interprets one superinstruction. It returns false when a
+// precondition fails (operand-stack underflow), in which case the caller
+// falls back to executing the original instructions — which raise the
+// exact error unfused execution would.
+func (m *Machine) execFused(fr *Frame, f *bytecode.FusedInstr) bool {
+	switch f.Kind {
+	case bytecode.FuseLocalConstOp:
+		// LOADL src; PUSH k; binop; STOREL dst — no stack traffic at all.
+		fr.Locals[f.Dst] = expr.NewBinary(binOpOf(f.Op), fr.Locals[f.Src], expr.NewConst(f.K))
+	case bytecode.FuseConstOp:
+		// PUSH k; binop — combine with the stack top in place.
+		n := len(fr.Stack)
+		if n == 0 {
+			return false
+		}
+		fr.Stack[n-1] = expr.NewBinary(binOpOf(f.Op), fr.Stack[n-1], expr.NewConst(f.K))
+	default:
+		return false
+	}
+	fr.PC += int(f.Len)
+	m.fusedOps++
+	if expr.Interned(f.K) {
+		m.internHits++
+	}
+	return true
+}
+
 // maxAllocCells bounds a single allocation.
 const maxAllocCells = 1 << 20
 
@@ -298,6 +377,9 @@ func (m *Machine) exec(th *Thread, fr *Frame, in bytecode.Instr, pcref bytecode.
 		return true, nil
 
 	case bytecode.PUSH:
+		if expr.Interned(in.A) {
+			m.internHits++
+		}
 		fr.Stack = append(fr.Stack, expr.NewConst(in.A))
 		fr.PC++
 		return true, nil
@@ -400,6 +482,9 @@ func (m *Machine) exec(th *Thread, fr *Frame, in bytecode.Instr, pcref bytecode.
 		cells := make([]expr.Expr, n)
 		for i := range cells {
 			cells[i] = expr.NewConst(0)
+		}
+		if st.Heap == nil {
+			st.Heap = map[int64]*HeapBlock{} // clones of heap-free states carry a nil map
 		}
 		st.Heap[ref] = &HeapBlock{Cells: cells}
 		fr.Stack = append(fr.Stack, expr.NewConst(ref))
@@ -800,6 +885,9 @@ func (m *Machine) exec(th *Thread, fr *Frame, in bytecode.Instr, pcref bytecode.
 			s, ok := st.argSyms[int(i)]
 			if !ok {
 				s = st.NewSym(argSymName(int(i)), st.Args[i])
+				if st.argSyms == nil {
+					st.argSyms = map[int]*expr.Sym{}
+				}
 				st.argSyms[int(i)] = s
 			}
 			fr.Stack = append(fr.Stack, s)

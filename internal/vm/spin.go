@@ -10,14 +10,64 @@ import "repro/internal/bytecode"
 // write is spinning on ad-hoc synchronization (race is "single ordering");
 // a loop whose exit condition no live thread can change is an infinite
 // loop (race is "spec violated"), following the criterion of [60].
+//
+// Visit counts live in dense per-function slabs indexed by pc (pcCounts)
+// rather than hash maps: trackSpinPC runs on every interpreted
+// instruction of an enforcement, and the map traffic of the previous
+// implementation accounted for a measurable share of pbzip2-style
+// classification time. The current and previous windows double-buffer
+// their slabs, so a window rollover zeroes the touched counters in place
+// instead of allocating fresh maps.
 type spinInfo struct {
-	visits map[uint64]int
+	visits *pcCounts
 	reads  map[Loc]struct{}
 	// previous window, kept so a diagnosis right after a reset still
 	// sees a full window's worth of data
-	prevVisits map[uint64]int
+	prevVisits *pcCounts
 	prevReads  map[Loc]struct{}
 	ticks      int64
+}
+
+// pcCounts is a dense pc-indexed visit counter, one lazily allocated
+// slab per function. touched records which counters are nonzero so reset
+// and iteration cost O(distinct pcs), not O(program size).
+type pcCounts struct {
+	funcs   [][]int32
+	touched []uint64 // packed fn<<32|pc of nonzero counters
+}
+
+func newPCCounts(p *bytecode.Program) *pcCounts {
+	return &pcCounts{funcs: make([][]int32, len(p.Funcs))}
+}
+
+func (c *pcCounts) inc(p *bytecode.Program, fn, pc int) {
+	s := c.funcs[fn]
+	if s == nil {
+		s = make([]int32, len(p.Funcs[fn].Code))
+		c.funcs[fn] = s
+	}
+	if s[pc] == 0 {
+		c.touched = append(c.touched, uint64(uint32(fn))<<32|uint64(uint32(pc)))
+	}
+	s[pc]++
+}
+
+// reset zeroes the touched counters, keeping the slabs for reuse.
+func (c *pcCounts) reset() {
+	for _, k := range c.touched {
+		c.funcs[k>>32][uint32(k)] = 0
+	}
+	c.touched = c.touched[:0]
+}
+
+// anyAtLeast reports whether some counter reached threshold.
+func (c *pcCounts) anyAtLeast(threshold int32) bool {
+	for _, k := range c.touched {
+		if c.funcs[k>>32][uint32(k)] >= threshold {
+			return true
+		}
+	}
+	return false
 }
 
 // spinWindow is the number of tracked instructions after which a thread's
@@ -27,17 +77,13 @@ type spinInfo struct {
 // contaminate the ad-hoc-sync test.
 const spinWindow = 8192
 
-func pcKey(pc bytecode.PCRef) uint64 {
-	return uint64(uint32(pc.Fn))<<32 | uint64(uint32(pc.PC))
-}
-
 func (m *Machine) spinFor(tid int) *spinInfo {
-	if m.spin == nil {
-		m.spin = map[int]*spinInfo{}
+	for len(m.spin) <= tid {
+		m.spin = append(m.spin, nil)
 	}
 	si := m.spin[tid]
 	if si == nil {
-		si = &spinInfo{visits: map[uint64]int{}, reads: map[Loc]struct{}{}}
+		si = &spinInfo{visits: newPCCounts(m.St.Prog), reads: map[Loc]struct{}{}}
 		m.spin[tid] = si
 	}
 	return si
@@ -50,14 +96,26 @@ func (m *Machine) trackSpinPC(tid int, in bytecode.Instr, pc bytecode.PCRef) {
 	si := m.spinFor(tid)
 	si.ticks++
 	if si.ticks%spinWindow == 0 {
-		si.prevVisits, si.prevReads = si.visits, si.reads
-		si.visits = map[uint64]int{}
-		si.reads = map[Loc]struct{}{}
+		// Double-buffer rollover: the full window just recorded becomes
+		// the previous one, and the old previous buffers are cleared in
+		// place to receive the next window.
+		si.prevVisits, si.visits = si.visits, si.prevVisits
+		si.prevReads, si.reads = si.reads, si.prevReads
+		if si.visits == nil {
+			si.visits = newPCCounts(m.St.Prog)
+		} else {
+			si.visits.reset()
+		}
+		if si.reads == nil {
+			si.reads = map[Loc]struct{}{}
+		} else {
+			clear(si.reads)
+		}
 	}
 	if in.Op != bytecode.JMP && in.Op != bytecode.JZ {
 		return
 	}
-	si.visits[pcKey(pc)]++
+	si.visits.inc(m.St.Prog, pc.Fn, pc.PC)
 }
 
 func (m *Machine) trackSpinRead(tid int, loc Loc) {
@@ -87,22 +145,17 @@ type SpinDiagnosis struct {
 // returned StopBudget with SpinTrack enabled.
 func (m *Machine) DiagnoseSpin(tid int) SpinDiagnosis {
 	var d SpinDiagnosis
-	si := m.spin[tid]
-	if si == nil {
+	if tid < 0 || tid >= len(m.spin) || m.spin[tid] == nil {
 		return d
 	}
+	si := m.spin[tid]
 	visits := si.visits
 	reads := si.reads
 	if si.ticks%spinWindow < spinWindow/4 && si.prevVisits != nil {
 		// Fresh window: diagnose on the previous one instead.
 		visits, reads = si.prevVisits, si.prevReads
 	}
-	for _, n := range visits {
-		if n >= spinLoopThreshold {
-			d.Looping = true
-			break
-		}
-	}
+	d.Looping = visits.anyAtLeast(spinLoopThreshold)
 	if !d.Looping {
 		return d
 	}

@@ -283,17 +283,23 @@ func NewState(p *bytecode.Program, args []int64, inputs []int64) *State {
 // the parallel engine clones the same pre-race checkpoint once per
 // alternate schedule. Two techniques keep it cheap:
 //
-//   - Slab allocation: threads, frames, their expression cells, and heap
-//     blocks are copied into one backing array per kind instead of one
-//     allocation per object. Every sub-slice is cap-trimmed to its exact
-//     region, so a later append (a call pushing a frame, a push growing
-//     an operand stack) reallocates privately instead of growing into a
-//     neighbor's region.
+//   - Slab allocation: threads, frames, and heap blocks are copied into
+//     one backing array per kind — and every expression cell in the
+//     state (global cells, heap cells, frame locals and operand stacks)
+//     into one shared expression slab — instead of one allocation per
+//     object. Every sub-slice is cap-trimmed to its exact region, so a
+//     later append (a call pushing a frame, a push growing an operand
+//     stack) reallocates privately instead of growing into a neighbor's
+//     region.
 //   - Copy-on-write sharing: append-only slices whose elements are never
 //     mutated in place (Outputs, PathCond) share the parent's backing
 //     array, again cap-trimmed so appends by either party reallocate.
 //     Concretize, the one operation that rewrites output records,
 //     replaces the slice wholesale instead of mutating shared memory.
+//   - Empty maps stay nil: states that never allocated heap blocks,
+//     minted symbols, or read symbolic args (the common case on concrete
+//     replays) clone without those map allocations; the writing
+//     operations initialize lazily.
 //
 // Clone is safe to call concurrently on one state from several
 // goroutines (it only reads the source), which the parallel alternate-
@@ -312,38 +318,45 @@ func (st *State) Clone() *State {
 		ArgReads: st.ArgReads,
 	}
 
-	// Globals: one cell slab for all variables.
+	// One expression slab for every cell in the state: global cells,
+	// heap cells, frame locals and operand stacks.
 	nCells := 0
 	for _, cells := range st.Globals {
 		nCells += len(cells)
 	}
-	gslab := make([]expr.Expr, nCells)
-	ns.Globals = make([][]expr.Expr, len(st.Globals))
-	gi := 0
-	for i, cells := range st.Globals {
-		dst := gslab[gi : gi+len(cells) : gi+len(cells)]
-		copy(dst, cells)
-		ns.Globals[i] = dst
-		gi += len(cells)
+	for _, blk := range st.Heap {
+		nCells += len(blk.Cells)
+	}
+	for _, t := range st.Threads {
+		for _, f := range t.Frames {
+			nCells += len(f.Locals) + len(f.Stack)
+		}
+	}
+	xslab := make([]expr.Expr, nCells)
+	xi := 0
+	grab := func(src []expr.Expr) []expr.Expr {
+		dst := xslab[xi : xi+len(src) : xi+len(src)]
+		copy(dst, src)
+		xi += len(src)
+		return dst
 	}
 
-	// Heap: one block slab and one cell slab.
-	nBlocks, nHeapCells := len(st.Heap), 0
-	for _, blk := range st.Heap {
-		nHeapCells += len(blk.Cells)
+	ns.Globals = make([][]expr.Expr, len(st.Globals))
+	for i, cells := range st.Globals {
+		ns.Globals[i] = grab(cells)
 	}
-	blkSlab := make([]HeapBlock, nBlocks)
-	hslab := make([]expr.Expr, nHeapCells)
-	ns.Heap = make(map[int64]*HeapBlock, nBlocks)
-	bi, hi := 0, 0
-	for ref, blk := range st.Heap {
-		nb := &blkSlab[bi]
-		bi++
-		cells := hslab[hi : hi+len(blk.Cells) : hi+len(blk.Cells)]
-		copy(cells, blk.Cells)
-		hi += len(blk.Cells)
-		nb.Cells, nb.Freed = cells, blk.Freed
-		ns.Heap[ref] = nb
+
+	// Heap: one block slab, cells from the shared expression slab.
+	if len(st.Heap) > 0 {
+		blkSlab := make([]HeapBlock, len(st.Heap))
+		ns.Heap = make(map[int64]*HeapBlock, len(st.Heap))
+		bi := 0
+		for ref, blk := range st.Heap {
+			nb := &blkSlab[bi]
+			bi++
+			nb.Cells, nb.Freed = grab(blk.Cells), blk.Freed
+			ns.Heap[ref] = nb
+		}
 	}
 
 	ns.Mutexes = append([]mutexState(nil), st.Mutexes...)
@@ -356,21 +369,16 @@ func (st *State) Clone() *State {
 		ns.Barriers[i].Arrived = append([]int(nil), st.Barriers[i].Arrived...)
 	}
 
-	// Threads: slab-allocate the thread and frame objects and one
-	// expression slab holding every frame's locals and operand stack.
-	nFrames, nExprs := 0, 0
+	// Threads: slab-allocate the thread and frame objects.
+	nFrames := 0
 	for _, t := range st.Threads {
 		nFrames += len(t.Frames)
-		for _, f := range t.Frames {
-			nExprs += len(f.Locals) + len(f.Stack)
-		}
 	}
 	thSlab := make([]Thread, len(st.Threads))
 	frSlab := make([]Frame, nFrames)
 	fpSlab := make([]*Frame, nFrames)
-	xslab := make([]expr.Expr, nExprs)
 	ns.Threads = make([]*Thread, len(st.Threads))
-	fi, xi := 0, 0
+	fi := 0
 	for i, t := range st.Threads {
 		nt := &thSlab[i]
 		*nt = *t
@@ -378,12 +386,8 @@ func (st *State) Clone() *State {
 		for _, f := range t.Frames {
 			nf := &frSlab[fi]
 			nf.Fn, nf.PC = f.Fn, f.PC
-			nf.Locals = xslab[xi : xi+len(f.Locals) : xi+len(f.Locals)]
-			copy(nf.Locals, f.Locals)
-			xi += len(f.Locals)
-			nf.Stack = xslab[xi : xi+len(f.Stack) : xi+len(f.Stack)]
-			copy(nf.Stack, f.Stack)
-			xi += len(f.Stack)
+			nf.Locals = grab(f.Locals)
+			nf.Stack = grab(f.Stack)
 			nt.Frames = append(nt.Frames, nf)
 			fi++
 		}
@@ -396,18 +400,24 @@ func (st *State) Clone() *State {
 	ns.Outputs = st.Outputs[:len(st.Outputs):len(st.Outputs)]
 	ns.PathCond = st.PathCond[:len(st.PathCond):len(st.PathCond)]
 
-	ns.Hints = make(expr.Assignment, len(st.Hints))
-	for k, v := range st.Hints {
-		ns.Hints[k] = v
+	if len(st.Hints) > 0 {
+		ns.Hints = make(expr.Assignment, len(st.Hints))
+		for k, v := range st.Hints {
+			ns.Hints[k] = v
+		}
 	}
 	ns.Suspended = append([]bool(nil), st.Suspended...)
-	ns.Observers = make([]Observer, len(st.Observers))
-	for i, o := range st.Observers {
-		ns.Observers[i] = o.CloneObs()
+	if len(st.Observers) > 0 {
+		ns.Observers = make([]Observer, len(st.Observers))
+		for i, o := range st.Observers {
+			ns.Observers[i] = o.CloneObs()
+		}
 	}
-	ns.argSyms = make(map[int]*expr.Sym, len(st.argSyms))
-	for k, v := range st.argSyms {
-		ns.argSyms[k] = v
+	if len(st.argSyms) > 0 {
+		ns.argSyms = make(map[int]*expr.Sym, len(st.argSyms))
+		for k, v := range st.argSyms {
+			ns.argSyms[k] = v
+		}
 	}
 	return ns
 }
@@ -471,9 +481,13 @@ func (st *State) Resume(tid int) {
 }
 
 // NewSym mints a fresh symbolic variable with a concolic hint and records
-// the hint.
+// the hint. Hints may be nil on a clone that had none (Clone skips empty
+// maps); initialize lazily.
 func (st *State) NewSym(name string, hint int64) *expr.Sym {
 	s := expr.NewSym(name)
+	if st.Hints == nil {
+		st.Hints = expr.Assignment{}
+	}
 	st.Hints[name] = hint
 	return s
 }

@@ -106,6 +106,20 @@ type Stats struct {
 	// configured Mp×Ma suggests.
 	TruncatedPaths int `json:"truncatedPaths,omitempty"`
 
+	// FusedOps counts superinstructions the interpreter executed for
+	// this classification (each covers several original instructions);
+	// InternedConsts counts constants served from the expression intern
+	// table without allocating. Both are throughput accounting: like
+	// SolverQueries they may vary with pool width, never the verdict.
+	FusedOps       int64 `json:"fusedOps,omitempty"`
+	InternedConsts int64 `json:"internedConsts,omitempty"`
+
+	// SolverCacheEvictions counts entries the run-wide solver memo
+	// evicted (least-recently-used) while this race classified — a cache
+	// pressure indicator for tuning, attributed to whichever race was
+	// being timed when the eviction happened.
+	SolverCacheEvictions int `json:"solverCacheEvictions,omitempty"`
+
 	Duration time.Duration `json:"durationNs"`
 }
 
@@ -171,15 +185,18 @@ func newVerdict(cv *core.Verdict, prog *bytecode.Program) Verdict {
 		Detail:       cv.Detail,
 		StatesDiffer: cv.StatesDiffer,
 		Stats: Stats{
-			Preemptions:     cv.Stats.Preemptions,
-			Branches:        cv.Stats.Branches,
-			SolverQueries:   cv.Stats.SolverQueries,
-			PrimaryPaths:    cv.Stats.PrimaryPaths,
-			Alternates:      cv.Stats.Alternates,
-			CheckpointHits:  cv.Stats.CheckpointHits,
-			SolverCacheHits: cv.Stats.SolverCacheHits,
-			TruncatedPaths:  cv.Stats.TruncatedPaths,
-			Duration:        cv.Stats.Duration,
+			Preemptions:          cv.Stats.Preemptions,
+			Branches:             cv.Stats.Branches,
+			SolverQueries:        cv.Stats.SolverQueries,
+			PrimaryPaths:         cv.Stats.PrimaryPaths,
+			Alternates:           cv.Stats.Alternates,
+			CheckpointHits:       cv.Stats.CheckpointHits,
+			SolverCacheHits:      cv.Stats.SolverCacheHits,
+			TruncatedPaths:       cv.Stats.TruncatedPaths,
+			FusedOps:             cv.Stats.FusedOps,
+			InternedConsts:       cv.Stats.InternedConsts,
+			SolverCacheEvictions: cv.Stats.SolverCacheEvictions,
+			Duration:             cv.Stats.Duration,
 		},
 		prog: prog,
 		raw:  cv,

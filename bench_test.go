@@ -297,6 +297,36 @@ func BenchmarkCheckpoint_SharedReplay(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckpoint_SymbolicPrefix measures the symbolic checkpoint
+// store on the workload shape the concrete store cannot help: the
+// input() read (and input-dependent branching) precedes every race, so
+// every pre-race replay prefix has consumed a symbolic read and
+// multi-path exploration can only resume from the symbolic store's
+// mainline snapshots (pending forks included). The caches-off arm
+// re-explores every race's prefix from the root — identical verdicts,
+// no reuse.
+func BenchmarkCheckpoint_SymbolicPrefix(b *testing.B) {
+	src := workloads.SymPrefixRaceSource(16, 6, 6000)
+	w := &workloads.Workload{Name: "sym-prefix", Source: src, Inputs: []int64{3}}
+	p := w.Compile()
+	for _, noCache := range []bool{false, true} {
+		name := "caches=on"
+		if noCache {
+			name = "caches=off"
+		}
+		opts := core.DefaultOptions()
+		opts.NoCache = noCache
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := core.Run(p, nil, w.Inputs, opts)
+				if len(res.Errors) != 0 {
+					b.Fatalf("classification errors: %v", res.Errors)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkVM_Checkpoint measures State.Clone, the primitive behind
 // Algorithm 1's checkpoints and Algorithm 2's forking.
 func BenchmarkVM_Checkpoint(b *testing.B) {

@@ -30,6 +30,56 @@ func renderResult(p *bytecode.Program, res *core.Result) string {
 	return b.String()
 }
 
+// TestTightBudgetCheckpointDeterminism pins the budget accounting of
+// checkpoint resumes: under a run budget tight enough to bite, verdicts
+// must be byte-identical with the checkpoint stores on and off, at
+// sequential and parallel widths. A resumed replay or exploration is
+// charged for its skipped prefix, so a budget-bound analysis stops at
+// exactly the instruction its root-started twin would — otherwise
+// checkpoint warmth could flip verdicts. The suite runs every built-in
+// workload plus the two synthetic checkpoint shapes (many races behind
+// a long prefix; input() and symbolic branches before every race).
+func TestTightBudgetCheckpointDeterminism(t *testing.T) {
+	suite := append([]*workloads.Workload{}, workloads.All()...)
+	suite = append(suite,
+		&workloads.Workload{Name: "many-race-tight", Source: workloads.ManyRaceSource(6, 1500), Inputs: []int64{3}},
+		&workloads.Workload{Name: "sym-prefix-tight", Source: workloads.SymPrefixRaceSource(4, 5, 800), Inputs: []int64{2}},
+	)
+	for _, w := range suite {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			p := w.Compile()
+			run := func(parallel int, noCache bool) string {
+				opts := core.DefaultOptions()
+				opts.RunBudget = 40_000
+				opts.EnforceBudget = 6_000
+				opts.Parallel = parallel
+				opts.NoCache = noCache
+				if w.Predicates != nil {
+					opts.Predicates = w.Predicates(p)
+				}
+				return renderResult(p, core.Run(p, w.Args, w.Inputs, opts))
+			}
+			want := run(1, false)
+			for _, cfg := range []struct {
+				name     string
+				parallel int
+				noCache  bool
+			}{
+				{"parallel=1 caches=off", 1, true},
+				{"parallel=8 caches=on", 8, false},
+				{"parallel=8 caches=off", 8, true},
+			} {
+				if got := run(cfg.parallel, cfg.noCache); got != want {
+					t.Errorf("tight-budget verdicts differ between caches=on parallel=1 and %s\n--- want ---\n%s\n--- got ---\n%s",
+						cfg.name, want, got)
+				}
+			}
+		})
+	}
+}
+
 // TestParallelDeterminism asserts the acceptance criteria of the
 // parallel, shared-replay, and fused-interpreter engines together: for
 // every built-in workload, verdicts and reports are byte-identical

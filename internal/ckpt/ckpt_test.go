@@ -190,6 +190,53 @@ func TestStoreDoomedAddDoesNotThin(t *testing.T) {
 	}
 }
 
+// TestStoreThinningTransactional is the regression for the lossy-Add
+// bug: an entry admissible under the *current* stride whose insert would
+// be disqualified by the stride a capacity thinning raises must be
+// refused outright — previously the thinning had already happened by the
+// time the raised stride disqualified the entry, so a doomed Add halved
+// the stored checkpoints and inserted nothing.
+func TestStoreThinningTransactional(t *testing.T) {
+	s := NewStore(4)
+	for _, n := range []int64{0, 100, 200, 500} {
+		s.Add(stateAt(t, n), vm.NewRoundRobin())
+	}
+	// Capacity thinning: {0,100,200,500} -> {0,200} (survivor gap 200 >
+	// 2*stride(0), so stride becomes 200), then 650 lands.
+	s.Add(stateAt(t, 650), vm.NewRoundRobin())
+	if s.Len() != 3 || s.Thinned() != 2 || s.Stride() != 200 {
+		t.Fatalf("setup thinning: len=%d thinned=%d stride=%d, want 3/2/200", s.Len(), s.Thinned(), s.Stride())
+	}
+	s.Add(stateAt(t, 850), vm.NewRoundRobin()) // back to capacity: {0,200,650,850}
+	if s.Len() != 4 {
+		t.Fatalf("len = %d, want 4", s.Len())
+	}
+
+	// 1150 passes the current-stride check (1150-850 = 300 >= 200) but a
+	// thinning would keep {0,650} and raise the stride to their gap, 650;
+	// 1150-650 = 500 < 650 disqualifies the entry. The store must stay
+	// exactly as it was: same entries, no thinning charged.
+	s.Add(stateAt(t, 1150), vm.NewRoundRobin())
+	if s.Len() != 4 || s.Thinned() != 2 || s.Stride() != 200 {
+		t.Fatalf("doomed add mutated the store: len=%d thinned=%d stride=%d, want 4/2/200", s.Len(), s.Thinned(), s.Stride())
+	}
+	for _, tc := range []struct{ limit, want int64 }{{100, 0}, {500, 200}, {849, 650}, {2000, 850}} {
+		if _, _, steps, ok := s.Resume(tc.limit, nil); !ok || steps != tc.want {
+			t.Errorf("Resume(%d) = steps %d ok %v, want %d true (entries must be untouched)", tc.limit, steps, ok, tc.want)
+		}
+	}
+
+	// A genuinely admissible entry still thins and lands: {0,650} stride
+	// 650, then 1300 (1300-650 = 650 >= 650) inserts.
+	s.Add(stateAt(t, 1300), vm.NewRoundRobin())
+	if s.Len() != 3 || s.Thinned() != 4 || s.Stride() != 650 {
+		t.Fatalf("admissible add after refusal: len=%d thinned=%d stride=%d, want 3/4/650", s.Len(), s.Thinned(), s.Stride())
+	}
+	if _, _, steps, ok := s.Resume(2000, nil); !ok || steps != 1300 {
+		t.Fatalf("Resume(2000) = steps %d ok %v, want 1300 true", steps, ok)
+	}
+}
+
 // TestStoreCapacityOne guards the degenerate bound: a single-entry store
 // must never exceed one entry (thinning cannot shrink a one-entry
 // population, so further Adds are refused outright).

@@ -153,9 +153,24 @@ type Options struct {
 	// Values <= 0 derive the paper-era default 4*Mp + 32.
 	MaxPathItems int
 
-	// MaxCheckpoints bounds the shared replay-checkpoint store (one full
-	// state clone per entry). Values <= 0 mean the default (64).
+	// MaxCheckpoints bounds each shared checkpoint store — the concrete
+	// replay store and the symbolic exploration store (one full state
+	// clone per entry, plus pending fork clones for symbolic entries).
+	// Values <= 0 mean the default (64).
 	MaxCheckpoints int
+
+	// DetectCheckpointEvery is the initial cadence, in completed
+	// instructions, of the periodic replay checkpoints the detection pass
+	// deposits while it records the trace; the cadence doubles after each
+	// periodic deposit (O(log trace) snapshots, the nearest one below any
+	// point within half the replay it saves), and each new race cluster's
+	// detection point deposits one regardless. Periodic deposits are what
+	// let even the first race of a trace resume (its first racing access
+	// precedes every detection point). 0 means the default
+	// (DefaultDetectCheckpointEvery); negative disables the periodic
+	// cadence, keeping only the cluster-point deposits. Ignored when
+	// NoCache is set.
+	DetectCheckpointEvery int64
 
 	// NoCache disables the shared replay-checkpoint store and the
 	// memoizing solver cache. Verdicts are byte-identical with the caches
@@ -200,6 +215,14 @@ type Options struct {
 	Parallel int
 }
 
+// DefaultDetectCheckpointEvery is the default initial cadence of the
+// detection pass's periodic replay checkpoints (the cadence doubles
+// after each one, so a T-instruction trace deposits ~log2(T/512) of
+// them). It trades a handful of state clones against the replay length
+// the first classification of each trace region saves; 512 steps keeps
+// even short traces covered ahead of their first race.
+const DefaultDetectCheckpointEvery = 512
+
 // DefaultOptions returns the configuration used throughout the
 // evaluation: Mp=5, Ma=2, 2 symbolic inputs (§5), with the analysis
 // fanned out across GOMAXPROCS workers (Parallel = 0).
@@ -232,13 +255,18 @@ type Stats struct {
 	Alternates    int
 
 	// CheckpointHits counts replays of this classification that resumed
-	// from the shared checkpoint store instead of the program's initial
-	// state; SolverCacheHits counts solver queries answered from the
-	// shared memo. Both depend on cache warmth (what earlier — possibly
-	// concurrent — classifications populated), so unlike the verdict
-	// itself they may vary with pool width.
-	CheckpointHits  int
-	SolverCacheHits int
+	// from the shared concrete checkpoint store (populated by the
+	// detection pass and by earlier classification replays) instead of
+	// the program's initial state; SymCheckpointHits counts multi-path
+	// explorations that resumed from the symbolic store — mainline
+	// snapshots taken past the symbolic-input frontier, pending forks
+	// included; SolverCacheHits counts solver queries answered from the
+	// shared memo. All three depend on cache warmth (what earlier —
+	// possibly concurrent — work populated), so unlike the verdict itself
+	// they may vary with pool width.
+	CheckpointHits    int
+	SymCheckpointHits int
+	SolverCacheHits   int
 
 	// TruncatedPaths counts exploration the multi-path phase gave up on:
 	// forked siblings dropped at the queue cap plus worklist items

@@ -19,12 +19,15 @@ type Classifier struct {
 	Opts Options
 	sol  *solver.Solver
 
-	// shared is the run-wide reuse machinery (replay checkpoints, solver
-	// memo); nil when Options.NoCache disabled it. ckptHits counts this
-	// classifier's replays that resumed from a checkpoint; it is only
-	// touched from the goroutine driving ClassifyCtx.
+	// shared is the run-wide reuse machinery (concrete and symbolic
+	// checkpoint stores, solver memo); nil when Options.NoCache disabled
+	// it. ckptHits counts this classifier's replays that resumed from the
+	// concrete store; symHits counts multi-path explorations that resumed
+	// from the symbolic store. Both are only touched from the goroutine
+	// driving ClassifyCtx.
 	shared   *sharedCaches
 	ckptHits int
+	symHits  int
 
 	// vmCounters aggregates interpreter fast-path tallies (fused
 	// superinstructions, interned constants) across every machine this
@@ -175,8 +178,8 @@ func (c *Classifier) ClassifyCtx(cctx context.Context, rep *race.Report, tr *tra
 // statsSnap is the counter baseline taken at the start of one
 // classification; finishStats turns it into per-race deltas.
 type statsSnap struct {
-	queries, cacheHits, ckptHits, evictions int
-	fused, interned                         int64
+	queries, cacheHits, ckptHits, symHits, evictions int
+	fused, interned                                  int64
 }
 
 func (c *Classifier) snapStats() statsSnap {
@@ -184,6 +187,7 @@ func (c *Classifier) snapStats() statsSnap {
 		queries:   c.sol.Queries(),
 		cacheHits: c.sol.CacheHits(),
 		ckptHits:  c.ckptHits,
+		symHits:   c.symHits,
 		fused:     c.vmCounters.FusedOps.Load(),
 		interned:  c.vmCounters.InternedConsts.Load(),
 	}
@@ -197,6 +201,7 @@ func (c *Classifier) finishStats(v *Verdict, mp *mpResult, snap statsSnap, start
 	v.Stats.SolverQueries = c.sol.Queries() - snap.queries
 	v.Stats.SolverCacheHits = c.sol.CacheHits() - snap.cacheHits
 	v.Stats.CheckpointHits = c.ckptHits - snap.ckptHits
+	v.Stats.SymCheckpointHits = c.symHits - snap.symHits
 	v.Stats.FusedOps = c.vmCounters.FusedOps.Load() - snap.fused
 	v.Stats.InternedConsts = c.vmCounters.InternedConsts.Load() - snap.interned
 	if c.sol.Cache != nil {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/lang"
 	"repro/internal/race"
 	"repro/internal/sched"
+	"repro/internal/trace"
 	"repro/internal/vm"
 )
 
@@ -70,7 +71,22 @@ func RunStream(ctx context.Context, p *bytecode.Program, args, inputs []int64, o
 	if err := ctx.Err(); err != nil {
 		return res, err
 	}
-	det := race.DetectCtx(ctx, p, args, inputs, budget)
+
+	// All races of this run share one trace, so they share one pair of
+	// checkpoint stores (concrete replay + symbolic exploration) and one
+	// memoizing solver cache. The bundle exists before detection runs:
+	// the detection pass itself deposits replay checkpoints — at each new
+	// race cluster's detection point and on a periodic cadence — so even
+	// the trace's first classification resumes instead of paying a full
+	// root replay. None of the caches can change a verdict (resume is
+	// deterministic replay, memoized answers are what the deterministic
+	// search would recompute); they only shift time, which the
+	// determinism suite asserts by diffing cached vs uncached runs.
+	inner := opts
+	if !inner.NoCache && inner.shared == nil {
+		inner.shared = newSharedCaches(inner)
+	}
+	det := race.DetectWith(ctx, p, args, inputs, budget, detectionConfig(inner, inner.shared))
 	res.Detection = det
 	if err := ctx.Err(); err != nil {
 		return res, err
@@ -85,23 +101,11 @@ func RunStream(ctx context.Context, p *bytecode.Program, args, inputs []int64, o
 	// the pool width instead of its square. The split never changes a
 	// verdict — pool width only affects wall-clock.
 	workers := sched.Workers(opts.Parallel)
-	inner := opts
 	if n > 0 {
 		inner.Parallel = (workers + n - 1) / n
 	}
 	if workers > n {
 		workers = n
-	}
-
-	// All races of this run share one trace, so they share one replay-
-	// checkpoint store — later classifications resume from earlier ones'
-	// pre-race snapshots instead of re-replaying from the initial state —
-	// and one memoizing solver cache. Neither cache can change a verdict
-	// (resume is deterministic replay, memoized answers are what the
-	// deterministic search would recompute); both only shift time, which
-	// the determinism suite asserts by diffing cached vs uncached runs.
-	if !inner.NoCache && inner.shared == nil {
-		inner.shared = newSharedCaches(inner)
 	}
 
 	type outcome struct {
@@ -186,6 +190,42 @@ func RunStream(ctx context.Context, p *bytecode.Program, args, inputs []int64, o
 		}
 	}
 	return res, nil
+}
+
+// detectionConfig builds the detection-phase checkpointing hooks for a
+// run backed by the given shared caches (nil — caching off — yields the
+// zero config and plain detection).
+//
+// Detection runs with the classifier's own observers attached (the
+// all-object access counter, and the predicate observer when predicates
+// are configured) so each snapshot is interchangeable with a state the
+// classification replay would have produced itself: same prefix, same
+// observer state, detector detached. The snapshot's controller is a
+// replayer over the live trace pinned at the park's decision count —
+// resuming it continues the recorded schedule exactly where the
+// recording stood.
+func detectionConfig(opts Options, shared *sharedCaches) race.DetectConfig {
+	if shared == nil {
+		return race.DetectConfig{}
+	}
+	var extra []vm.Observer
+	if len(opts.Predicates) > 0 {
+		extra = append(extra, &PredicateObserver{Preds: opts.Predicates})
+	}
+	extra = append(extra, newAccessCounter())
+	every := opts.DetectCheckpointEvery
+	if every == 0 {
+		every = DefaultDetectCheckpointEvery
+	}
+	return race.DetectConfig{
+		Extra:         extra,
+		SnapshotEvery: every, // negative: cluster-point deposits only
+		Snapshot: func(st *vm.State, tr *trace.Trace, decisions int) {
+			if store := shared.storeFor(tr); store != nil {
+				store.Add(st, trace.ReplayerAt(tr, vm.NewRoundRobin(), decisions))
+			}
+		},
+	}
 }
 
 // ByClass groups the verdicts by class.

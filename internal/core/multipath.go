@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/bytecode"
+	"repro/internal/ckpt"
 	"repro/internal/explore"
 	"repro/internal/expr"
 	"repro/internal/race"
@@ -35,8 +36,16 @@ type pathItem struct {
 	// skipped is the prefix length a checkpoint resume skipped; it is
 	// charged against the item's first execution segment so a budget-
 	// bound exploration stops at the same instruction it would have when
-	// started from the root.
+	// started from the root. Siblings forked before the charge is
+	// consumed inherit it — a fork must not escape a charge its parent
+	// still owed.
 	skipped int64
+
+	// mainline marks the exploration item that still follows the
+	// recorded schedule from the root (or a resumed snapshot of it) —
+	// the only item whose parked states are deposited into the symbolic
+	// checkpoint store.
+	mainline bool
 }
 
 func cloneCtl(c vm.Controller) vm.Controller {
@@ -66,18 +75,64 @@ type mpResult struct {
 	truncated   int
 }
 
+// explorationRoot is the starting point of one race's multi-path
+// exploration: the mainline item (root-started or checkpoint-resumed),
+// the sibling items pending in the fork queue at the resumed snapshot
+// (empty for root and concrete-checkpoint starts), and the exploration
+// counters the skipped prefix accumulated — the engine must be seeded
+// with branches/forksUsed and the truncation accounting with dropped, so
+// the continuation behaves exactly as a root-started exploration.
+type explorationRoot struct {
+	item    *pathItem
+	pending []*pathItem
+
+	branches, forksUsed, dropped int
+}
+
 // multipathRoot builds the starting point of one race's multi-path
-// exploration: the symbolic root state and a fresh replayer, or — when
-// the shared checkpoint store holds a provably equivalent snapshot — a
-// resumed state with the skipped prefix length. A snapshot is equivalent
-// only if its prefix (a) never touched the racy object class, so every
-// exploration breakpoint and the race point itself still lie ahead, and
-// (b) consumed no input/argument reads that symbolic execution would
-// have made symbolic, so re-arming the symbolic sources on the resumed
-// state reproduces the root-started execution bit for bit. Anything else
-// falls back to a full replay from the root.
-func (c *Classifier) multipathRoot(rep *race.Report, tr *trace.Trace) (*vm.State, vm.Controller, int64) {
-	if store := c.shared.storeFor(tr); store != nil && rep.First.Global > 0 {
+// exploration, trying the run's checkpoint stores from most to least
+// informed:
+//
+//  1. The symbolic store: a snapshot of an earlier race's exploration
+//     mainline, pending forks included. It already carries the minted
+//     symbols, path condition, and concolic hints of its prefix, so it
+//     is usable even when the prefix consumed symbolic inputs — the case
+//     no concrete snapshot can cover. The prefix must not have touched
+//     the racy object class (every exploration breakpoint and the race
+//     point itself must still lie ahead) and must fit one root-started
+//     segment budget, or a budget-bound continuation could explore work
+//     its root-started twin would never reach.
+//  2. The concrete replay store: usable only if the prefix additionally
+//     (a) never touched the racy object and (b) consumed no input or
+//     argument reads that symbolic execution would have made symbolic,
+//     so re-arming the symbolic sources on the resumed state reproduces
+//     the root-started execution bit for bit.
+//  3. A full symbolic replay from the root.
+func (c *Classifier) multipathRoot(rep *race.Report, tr *trace.Trace) explorationRoot {
+	limit := rep.First.Global
+	sym := c.shared.symFor(tr)
+	if sym != nil && limit > 0 {
+		accept := func(st *vm.State) bool {
+			ac := findAccessCounter(st)
+			return ac != nil && !ac.touchedObj(rep.Key.Space, rep.Key.Obj) &&
+				st.Steps <= c.Opts.RunBudget
+		}
+		if r, ok := sym.Resume(limit, accept); ok {
+			c.symHits++
+			pending := make([]*pathItem, len(r.Forks))
+			for i, f := range r.Forks {
+				pending[i] = &pathItem{st: f.State, ctl: f.Ctl}
+			}
+			return explorationRoot{
+				item:      &pathItem{st: r.State, ctl: r.Ctl, skipped: r.Steps, mainline: true},
+				pending:   pending,
+				branches:  r.Branches,
+				forksUsed: r.ForksUsed,
+				dropped:   r.Dropped,
+			}
+		}
+	}
+	if store := c.shared.storeFor(tr); store != nil && limit > 0 {
 		accept := func(st *vm.State) bool {
 			ac := findAccessCounter(st)
 			if ac == nil || ac.touchedObj(rep.Key.Space, rep.Key.Obj) {
@@ -91,9 +146,14 @@ func (c *Classifier) multipathRoot(rep *race.Report, tr *trace.Trace) (*vm.State
 			}
 			return true
 		}
-		if st, ctl, steps, ok := store.Resume(rep.First.Global, accept); ok {
+		if st, ctl, steps, ok := store.Resume(limit, accept); ok {
 			c.ckptHits++
-			dropAccessCounter(st)
+			// The counter stays attached: the mainline deposits symbolic
+			// snapshots of its own, and their accept check needs the
+			// prefix's touched-object record.
+			if sym == nil {
+				dropAccessCounter(st)
+			}
 			// Re-arm the symbolic sources exactly as newRootState does;
 			// the accepted prefix consumed none of them.
 			st.In.NSymbolic = c.Opts.SymbolicInputs
@@ -102,10 +162,49 @@ func (c *Classifier) multipathRoot(rep *race.Report, tr *trace.Trace) (*vm.State
 					st.SymArgs[i] = true
 				}
 			}
-			return st, ctl, steps
+			return explorationRoot{item: &pathItem{st: st, ctl: ctl, skipped: steps, mainline: true}}
 		}
 	}
-	return c.newRootState(tr, true), trace.NewReplayer(tr, vm.NewRoundRobin()), 0
+	root := c.newRootState(tr, true)
+	if sym != nil {
+		root.Observers = append(root.Observers, newAccessCounter())
+	}
+	return explorationRoot{item: &pathItem{
+		st: root, ctl: trace.NewReplayer(tr, vm.NewRoundRobin()), mainline: true,
+	}}
+}
+
+// depositSym snapshots the exploration mainline into the symbolic store:
+// the parked state and its controller, the sibling states pending in the
+// fork queue, and the exploration counters accumulated so far. Later
+// races whose first racing access lies beyond this park — and whose racy
+// object the prefix never touched — resume here instead of re-exploring
+// from the root, even when the prefix consumed symbolic inputs. The
+// store's cheap admission pre-check (duplicate/stride) keeps already-
+// covered parks from paying for the clones.
+//
+// Parks whose prefix consumed no symbolic source are not deposited: such
+// a prefix is exactly reproducible from the concrete store (which the
+// detection pass and every replay feed anyway), so a symbolic snapshot
+// there would only duplicate coverage at the price of cloning the state
+// and its fork queue. The symbolic store holds what only it can hold —
+// snapshots past the symbolic-input frontier.
+func (c *Classifier) depositSym(sym *ckpt.SymStore, it *pathItem, work []*pathItem, eng *explore.Engine, dropped int) {
+	if it.st.In.Pos == 0 && it.st.ArgReads == 0 {
+		return
+	}
+	cc, ok := it.ctl.(vm.CloneableController)
+	if !ok {
+		return
+	}
+	var forks []ckpt.PendingFork
+	if len(work) > 0 {
+		forks = make([]ckpt.PendingFork, len(work))
+		for i, w := range work {
+			forks[i] = ckpt.PendingFork{State: w.st, Ctl: w.ctl}
+		}
+	}
+	sym.Add(it.st, cc, forks, eng.Branches(), c.Opts.MaxForks-eng.ForksLeft(), dropped)
 }
 
 // collectPrimaries explores up to Mp primary paths that (a) follow the
@@ -123,12 +222,14 @@ func (c *Classifier) collectPrimaries(rep *race.Report, tr *trace.Trace, eng *ex
 	space, obj := rep.Key.Space, rep.Key.Obj
 	firstLine := rep.First.PC.Line
 
-	root, rootCtl, skipped := c.multipathRoot(rep, tr)
-	work := []*pathItem{{st: root, ctl: rootCtl, skipped: skipped}}
+	root := c.multipathRoot(rep, tr)
+	eng.Seed(root.branches, root.forksUsed)
+	work := append([]*pathItem{root.item}, root.pending...)
+	sym := c.shared.symFor(tr)
 
 	maxQueue := c.Opts.MaxQueuedForks
 	maxItems := c.Opts.MaxPathItems
-	dropped := 0
+	dropped := root.dropped
 	processed := 0
 	for len(work) > 0 && len(prims) < c.Opts.Mp && processed < maxItems && c.canceled() == nil {
 		processed++
@@ -137,6 +238,10 @@ func (c *Classifier) collectPrimaries(rep *race.Report, tr *trace.Trace, eng *ex
 
 		m := c.newMachine(it.st, it.ctl)
 		onFork := func(sib *vm.State) {
+			// Only the mainline deposits symbolic snapshots, so forked
+			// siblings never consult the access counter — strip it before
+			// it gets cloned down the sibling's whole subtree.
+			dropAccessCounter(sib)
 			if len(work) >= maxQueue {
 				dropped++
 				return
@@ -145,6 +250,17 @@ func (c *Classifier) collectPrimaries(rep *race.Report, tr *trace.Trace, eng *ex
 				st: sib, ctl: cloneCtl(it.ctl),
 				pre: it.pre, preTID: it.preTID, raceHit: it.raceHit,
 				firstTID: it.firstTID, secondTID: it.secondTID,
+				// Forward any still-uncharged skipped prefix. With the
+				// current call sites this forwards 0 — every RunForking
+				// budget goes through segBudget(), which consumes the
+				// charge before a fork can fire — but the invariant ("no
+				// item escapes its parent's undischarged budget charge")
+				// is kept local here instead of depending on that
+				// call-site discipline. A sibling must never carry a
+				// charge its root-started twin would not: fork states are
+				// step-identical between resumed and root-started runs,
+				// so only a genuinely unconsumed charge may propagate.
+				skipped: it.skipped,
 			})
 		}
 		segBudget := func() int64 {
@@ -180,6 +296,12 @@ func (c *Classifier) collectPrimaries(rep *race.Report, tr *trace.Trace, eng *ex
 				pruned = true
 				break
 			}
+			if sym != nil && it.mainline {
+				// The mainline is parked on the recorded schedule between
+				// instructions: a clean symbolic resume point for every
+				// race further down the trace.
+				c.depositSym(sym, it, work, eng, dropped)
+			}
 			tid := it.st.Cur
 			line := currentLine(it.st)
 			switch {
@@ -193,6 +315,7 @@ func (c *Classifier) collectPrimaries(rep *race.Report, tr *trace.Trace, eng *ex
 			case line == firstLine:
 				// (Re-)checkpoint before the most recent first access.
 				it.pre = it.st.Clone()
+				dropAccessCounter(it.pre) // enforcement clones need no counting
 				it.preTID = tid
 				m.Break = nil
 				m.Step()
@@ -214,7 +337,11 @@ func (c *Classifier) collectPrimaries(rep *race.Report, tr *trace.Trace, eng *ex
 			res = vm.RunResult{Kind: vm.StopFinished}
 		default:
 			m.Break = nil
-			res = eng.RunForking(m, c.Opts.RunBudget, onFork)
+			// segBudget, not the raw RunBudget: should an item ever reach
+			// this segment without its race-hit loop having run (inherited
+			// race hit plus a forwarded charge), the skipped prefix is
+			// still discharged exactly once.
+			res = eng.RunForking(m, segBudget(), onFork)
 		}
 		prims = append(prims, &primaryPath{
 			st: it.st, pre: it.pre,

@@ -10,52 +10,71 @@ import (
 	"repro/internal/vm"
 )
 
-// sharedCaches bundles the per-analysis-run reuse machinery: the replay
-// checkpoint store (replays resume from the nearest prior snapshot
-// instead of the program's initial state) and the memoizing solver cache
-// (structurally identical queries are answered once). RunStream creates
-// one bundle per run and threads it through every Classifier it builds;
-// a Classifier constructed directly gets a private bundle, so repeated
-// Classify calls on one classifier still reuse work.
+// sharedCaches bundles the per-analysis-run reuse machinery: the
+// concrete replay checkpoint store (replays resume from the nearest
+// prior snapshot instead of the program's initial state — populated by
+// the detection pass and by classification replays), the symbolic
+// checkpoint store (multi-path explorations resume from prior
+// explorations' mainline snapshots, pending forks included), and the
+// memoizing solver cache (structurally identical queries are answered
+// once). RunStream creates one bundle per run and threads it through
+// every Classifier it builds; a Classifier constructed directly gets a
+// private bundle, so repeated Classify calls on one classifier still
+// reuse work.
 //
-// Neither cache changes a verdict: checkpoint resume is deterministic
-// replay from a state full replay would pass through anyway, and the
-// solver cache only returns results the same deterministic search would
-// recompute. The caches trade memory for time, nothing else — which is
-// what the determinism suite asserts by diffing cached against uncached
-// runs byte for byte.
+// None of the caches changes a verdict: checkpoint resume is
+// deterministic replay from a state full replay would pass through
+// anyway (symbolic resumes additionally requeue the pending forks and
+// pre-charge the exploration counters the skipped prefix accumulated),
+// and the solver cache only returns results the same deterministic
+// search would recompute. The caches trade memory for time, nothing
+// else — which is what the determinism suite asserts by diffing cached
+// against uncached runs byte for byte.
 type sharedCaches struct {
 	store *ckpt.Store
+	sym   *ckpt.SymStore
 	cache *solver.Cache
 
 	mu sync.Mutex
-	tr *trace.Trace // the trace the checkpoint store serves
+	tr *trace.Trace // the trace both checkpoint stores serve
 }
 
 func newSharedCaches(opts Options) *sharedCaches {
 	return &sharedCaches{
 		store: ckpt.NewStore(opts.MaxCheckpoints),
+		sym:   ckpt.NewSymStore(opts.MaxCheckpoints),
 		cache: solver.NewCache(0),
 	}
 }
 
-// storeFor returns the checkpoint store, binding it to tr on first use.
-// Checkpoints are positions within one recorded schedule; if a classifier
-// with a private bundle is asked about a different trace, the store
-// declines (nil) rather than resume from another execution's states.
-func (s *sharedCaches) storeFor(tr *trace.Trace) *ckpt.Store {
-	if s == nil || tr == nil {
-		return nil
-	}
+// bindTrace binds the bundle to tr on first use and reports whether tr
+// is the bundle's trace. Checkpoints are positions within one recorded
+// schedule; if a classifier with a private bundle is asked about a
+// different trace, the stores decline rather than resume from another
+// execution's states.
+func (s *sharedCaches) bindTrace(tr *trace.Trace) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.tr == nil {
 		s.tr = tr
 	}
-	if s.tr != tr {
+	return s.tr == tr
+}
+
+// storeFor returns the concrete checkpoint store serving tr, or nil.
+func (s *sharedCaches) storeFor(tr *trace.Trace) *ckpt.Store {
+	if s == nil || tr == nil || !s.bindTrace(tr) {
 		return nil
 	}
 	return s.store
+}
+
+// symFor returns the symbolic checkpoint store serving tr, or nil.
+func (s *sharedCaches) symFor(tr *trace.Trace) *ckpt.SymStore {
+	if s == nil || tr == nil || !s.bindTrace(tr) {
+		return nil
+	}
+	return s.sym
 }
 
 // solverCache returns the shared solver memo (nil when caching is off).

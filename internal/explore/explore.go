@@ -55,6 +55,22 @@ func NewEngine(s *solver.Solver, maxForks int) *Engine {
 // ForksLeft returns the remaining fork budget.
 func (e *Engine) ForksLeft() int { return e.forks.Remaining() }
 
+// Seed pre-charges a fresh engine with exploration a resumed mainline's
+// skipped prefix already performed: branch decisions counted and
+// fork-budget slots consumed. An exploration resumed from a symbolic
+// checkpoint must seed its engine with the checkpoint's counters, or the
+// continuation could fork more siblings (and report fewer dependent
+// branches) than the same exploration started from the root — and fork-
+// cap-bound verdicts would depend on whether a checkpoint was available.
+func (e *Engine) Seed(branches, forksUsed int) {
+	if branches > 0 {
+		e.branches.Add(int64(branches))
+	}
+	for i := 0; i < forksUsed; i++ {
+		e.forks.TryAcquire()
+	}
+}
+
 // Branches returns the number of symbolic branch decisions encountered
 // so far across all RunForking calls.
 func (e *Engine) Branches() int { return int(e.branches.Load()) }

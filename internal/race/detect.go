@@ -19,6 +19,45 @@ type DetectionResult struct {
 	Final   *vm.State
 }
 
+// DetectConfig extends a detection run with classification-support
+// hooks; the zero value is plain detection. Portend's design (§3.2,
+// Algorithm 1) treats detection and classification as one pipeline over
+// the same recorded schedule, so the detection pass can deposit the
+// replay checkpoints classification will resume from — instead of the
+// first classification rediscovering them with a full root replay.
+type DetectConfig struct {
+	// Extra observers are attached to the detection state after the
+	// detector itself. They must be exactly the observers classification
+	// replays run with (the classifier's access counter and predicate
+	// observer): a snapshot is interchangeable with a replay state only
+	// if it carries the same observer state for its prefix.
+	Extra []vm.Observer
+
+	// Snapshot, when non-nil, receives the running state at detection-
+	// phase checkpoint points: the first clean park after each new race
+	// cluster's detection, plus every SnapshotEvery completed
+	// instructions of progress. The state is parked between instructions
+	// with the detector detached (classification replays never carry
+	// one), tr is the live — still recording — trace, and decisions is
+	// the number of scheduling decisions consumed so far: the replay
+	// position of the park (see trace.ReplayerAt). The callback must
+	// treat the state as read-only and not retain it past the call;
+	// depositing into a ckpt.Store clones it.
+	Snapshot func(st *vm.State, tr *trace.Trace, decisions int)
+
+	// SnapshotEvery is the initial periodic snapshot cadence in completed
+	// instructions; <= 0 disables periodic snapshots (cluster-detection
+	// snapshots still fire). The cadence doubles after every periodic
+	// snapshot, so a trace of T instructions deposits O(log T) periodic
+	// checkpoints — the nearest one below any point still lies within
+	// half the replay it saves, while short traces never pay more than a
+	// handful of state clones. Periodic snapshots are what let even the
+	// trace's first race resume: its first racing access precedes every
+	// cluster-detection point, so only cadence-deposited checkpoints can
+	// lie before it.
+	SnapshotEvery int64
+}
+
 // Detect runs the program with the given concrete arguments and input log
 // under the happens-before detector, recording the schedule. This is the
 // paper's detection phase: "developers could run their existing test
@@ -32,14 +71,32 @@ func Detect(p *bytecode.Program, args, inputs []int64, budget int64) *DetectionR
 // races and partial trace observed so far; the Run result reports
 // vm.StopCancelled.
 func DetectCtx(ctx context.Context, p *bytecode.Program, args, inputs []int64, budget int64) *DetectionResult {
+	return DetectWith(ctx, p, args, inputs, budget, DetectConfig{})
+}
+
+// DetectWith is DetectCtx extended with the checkpointing hooks of cfg.
+// The recorded trace, the race reports, the stop result, and the final
+// state are bit-identical to a plain DetectCtx run: snapshot parks only
+// pause the machine between instructions, they never change what it
+// executes.
+func DetectWith(ctx context.Context, p *bytecode.Program, args, inputs []int64, budget int64, cfg DetectConfig) *DetectionResult {
 	st := vm.NewState(p, args, inputs)
 	det := NewDetector()
 	st.Observers = append(st.Observers, det)
+	st.Observers = append(st.Observers, cfg.Extra...)
 	var interrupt func() bool
 	if ctx.Done() != nil {
 		interrupt = func() bool { return ctx.Err() != nil }
 	}
-	tr, res := trace.RecordWith(st, vm.NewRoundRobin(), budget, interrupt)
+	var (
+		tr  *trace.Trace
+		res vm.RunResult
+	)
+	if cfg.Snapshot == nil {
+		tr, res = trace.RecordWith(st, vm.NewRoundRobin(), budget, interrupt)
+	} else {
+		tr, res = recordSnapshotting(st, det, budget, interrupt, cfg)
+	}
 	return &DetectionResult{
 		Prog:    p,
 		Reports: det.Reports(),
@@ -47,6 +104,78 @@ func DetectCtx(ctx context.Context, p *bytecode.Program, args, inputs []int64, b
 		Run:     res,
 		Final:   st,
 	}
+}
+
+// recordSnapshotting is trace.RecordWith interleaved with checkpoint
+// deposits: the machine runs in segments separated by parks at which
+// cfg.Snapshot receives the state.
+//
+// Parks happen only before non-synchronization instructions. At such a
+// point no scheduling decision is pending: the decisions recorded so far
+// are exactly the decisions a replay resumed from the parked state will
+// have consumed, so the snapshot's replay position (len(t.Decisions)) is
+// exact. A park before a sync op would instead sit between an
+// already-recorded decision and the instruction it chose, and a machine
+// resumed there would consult the controller again — off by one.
+func recordSnapshotting(st *vm.State, det *Detector, budget int64, interrupt func() bool, cfg DetectConfig) (*trace.Trace, vm.RunResult) {
+	t := trace.NewTraceFor(st)
+	m := vm.NewMachine(st, trace.NewRecorder(vm.NewRoundRobin(), t))
+	m.Interrupt = interrupt
+
+	pending := false
+	det.OnNew = func(*Report) { pending = true }
+	defer func() { det.OnNew = nil }()
+
+	every := cfg.SnapshotEvery
+	next := int64(-1)
+	if every > 0 {
+		next = every
+	}
+	m.Break = func(s *vm.State, tid int, pc bytecode.PCRef, in bytecode.Instr) bool {
+		if in.Op.IsSyncOp() {
+			return false
+		}
+		return pending || (next >= 0 && s.Steps >= next)
+	}
+
+	remaining := budget
+	var total int64
+	for {
+		res := m.Run(remaining)
+		total += res.Steps
+		if res.Kind != vm.StopBreak {
+			res.Steps = total // report the whole recording, not the last segment
+			return t, res
+		}
+		if remaining >= 0 {
+			remaining -= res.Steps
+		}
+		pending = false
+		if next >= 0 {
+			if st.Steps >= next {
+				every *= 2 // geometric cadence: O(log T) periodic deposits
+			}
+			next = st.Steps + every
+		}
+		snapshotParked(st, det, t, cfg)
+	}
+}
+
+// snapshotParked hands the parked state to cfg.Snapshot with the
+// detector detached: classification replays never run a detector, so a
+// snapshot must not carry one either (it would be cloned into every
+// resume and re-detect races the trace already reported).
+func snapshotParked(st *vm.State, det *Detector, t *trace.Trace, cfg DetectConfig) {
+	saved := st.Observers
+	trimmed := make([]vm.Observer, 0, len(saved)-1)
+	for _, o := range saved {
+		if o != vm.Observer(det) {
+			trimmed = append(trimmed, o)
+		}
+	}
+	st.Observers = trimmed
+	cfg.Snapshot(st, t, len(t.Decisions))
+	st.Observers = saved
 }
 
 // FromExternal adapts a third-party race report (e.g. a ThreadSanitizer

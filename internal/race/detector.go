@@ -109,6 +109,15 @@ type Detector struct {
 	locs     map[vm.Loc]*locState
 	clusters map[ClusterKey]*Report
 	order    []ClusterKey // report order, deterministic
+
+	// OnNew, when non-nil, is invoked synchronously (from inside the
+	// racing access's OnAccess notification) each time a new race cluster
+	// is created — the cluster's detection point. The detection phase uses
+	// it to schedule a replay checkpoint at the first clean park after the
+	// detection point. It is intentionally not copied by CloneObs:
+	// detectors cloned into forked exploration states observe derived
+	// executions, not the recording the hook's consumer tracks.
+	OnNew func(*Report)
 }
 
 // NewDetector returns an empty detector; attach it to a state via
@@ -170,6 +179,9 @@ func (d *Detector) OnAccess(st *vm.State, tid int, loc vm.Loc, write bool, pc by
 		r := &Report{Key: key, Loc: loc, First: *prev, Second: *cur, Instances: 1}
 		d.clusters[key] = r
 		d.order = append(d.order, key)
+		if d.OnNew != nil {
+			d.OnNew(r)
+		}
 	}
 
 	if w := ls.lastWrite; w != nil && w.TID != tid && w.Clock > vc.Get(w.TID) {

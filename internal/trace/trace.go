@@ -47,6 +47,16 @@ func (t *Trace) String() string {
 	return b.String()
 }
 
+// NewTraceFor returns an empty trace capturing st's arguments and input
+// log — the fixed part of a recording; decisions accumulate as the
+// recorded execution runs.
+func NewTraceFor(st *vm.State) *Trace {
+	return &Trace{
+		Args:   append([]int64(nil), st.Args...),
+		Inputs: append([]int64(nil), st.In.Values...),
+	}
+}
+
 // Clone deep-copies the trace.
 func (t *Trace) Clone() *Trace {
 	return &Trace{
@@ -102,6 +112,17 @@ func NewReplayer(t *Trace, fallback vm.Controller) *Replayer {
 	return &Replayer{T: t, Fallback: fallback, DivergedAt: -1}
 }
 
+// ReplayerAt returns a replayer that has already consumed pos decisions —
+// the controller matching a state snapshotted mid-recording after the
+// recorder had taken pos scheduling decisions. Resuming that snapshot
+// under the returned replayer continues the recorded schedule exactly
+// where the recording stood. t may still be recording when ReplayerAt is
+// called: the replayer reads t.Decisions lazily, so a position taken
+// against the live trace stays valid once the trace is complete.
+func ReplayerAt(t *Trace, fallback vm.Controller, pos int) *Replayer {
+	return &Replayer{T: t, Fallback: fallback, pos: pos, DivergedAt: -1}
+}
+
 // Pos returns how many trace decisions have been consumed.
 func (r *Replayer) Pos() int { return r.pos }
 
@@ -138,10 +159,7 @@ func Record(st *vm.State, base vm.Controller, budget int64) (*Trace, vm.RunResul
 // the (partial) trace recorded so far. This is how a context deadline
 // aborts the detection phase.
 func RecordWith(st *vm.State, base vm.Controller, budget int64, interrupt func() bool) (*Trace, vm.RunResult) {
-	t := &Trace{
-		Args:   append([]int64(nil), st.Args...),
-		Inputs: append([]int64(nil), st.In.Values...),
-	}
+	t := NewTraceFor(st)
 	m := vm.NewMachine(st, NewRecorder(base, t))
 	m.Interrupt = interrupt
 	res := m.Run(budget)

@@ -65,3 +65,34 @@ func ManyRaceSource(races, pad int) string {
 	b.WriteString("\tlet x = input()\n\tprint(\"acc=\", acc + x)\n}\n")
 	return b.String()
 }
+
+// SymPrefixRaceSource is ManyRaceSource with the input() moved ahead of
+// the races: after a `pad`-iteration compute prefix, the `input()` read
+// and `branches` input-dependent branches execute, and only then the
+// races. With symbolic inputs enabled, every pre-race replay state has
+// consumed a symbolic read, so the concrete checkpoint store can never
+// seed multi-path exploration here; only the symbolic store — which
+// snapshots the exploration mainline past the input frontier, with the
+// branch-forked siblings still pending in the fork queue — lets races
+// after the first skip the prefix. This is the shape behind the
+// symbolic-store tests and benchmarks.
+func SymPrefixRaceSource(races, branches, pad int) string {
+	var b strings.Builder
+	b.WriteString("// sym-prefix: input() and symbolic branches before every race.\n")
+	for i := 0; i < races; i++ {
+		fmt.Fprintf(&b, "var g%d = 0\n", i)
+	}
+	b.WriteString("var acc = 0\n")
+	for i := 0; i < races; i++ {
+		fmt.Fprintf(&b, "fn w%d() {\n\tg%d = 7\n}\n", i, i)
+	}
+	b.WriteString("fn main() {\n")
+	fmt.Fprintf(&b, "\tfor i = 0, %d { acc = acc + 1 }\n", pad)
+	b.WriteString("\tlet x = input()\n")
+	fmt.Fprintf(&b, "\tfor i = 0, %d {\n\t\tif x > i { acc = acc + 1 }\n\t}\n", branches)
+	for i := 0; i < races; i++ {
+		fmt.Fprintf(&b, "\tlet t%d = spawn w%d()\n\tyield()\n\tg%d = 7\n\tjoin(t%d)\n", i, i, i, i)
+	}
+	b.WriteString("\tprint(\"acc=\", acc + x)\n}\n")
+	return b.String()
+}

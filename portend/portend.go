@@ -110,14 +110,30 @@ func WithSeed(seed uint64) Option {
 	return func(o *core.Options) { o.Seed, o.SeedSet = seed, true }
 }
 
-// WithCaching toggles the engine's shared reuse machinery: the replay
-// checkpoint store (later races resume replay from earlier races'
-// pre-race snapshots) and the memoizing solver cache. It is on by
-// default; verdicts are byte-identical either way (the caches shift
-// time, never outcomes), so disabling it is only useful for ablation
-// timing or to trade speed for memory.
+// WithCaching toggles the engine's shared reuse machinery: the concrete
+// replay checkpoint store (the detection pass and earlier races deposit
+// snapshots that later replays resume from), the symbolic checkpoint
+// store (multi-path explorations resume from earlier explorations'
+// mainline snapshots, pending forks included), and the memoizing solver
+// cache. It is on by default; verdicts are byte-identical either way
+// (the caches shift time, never outcomes), so disabling it is only
+// useful for ablation timing or to trade speed for memory.
 func WithCaching(enabled bool) Option {
 	return func(o *core.Options) { o.NoCache = !enabled }
+}
+
+// WithCheckpointInterval sets the initial cadence, in interpreted
+// instructions, of the periodic replay checkpoints the detection pass
+// deposits while recording the trace (the cadence doubles after each
+// deposit, so long traces pay O(log trace) snapshots). These deposits
+// are what let even the first race of a trace resume its classification
+// replay mid-trace — every other checkpoint source lies at or after
+// some race's detection point. 0 keeps the default cadence (512);
+// negative disables the periodic deposits, keeping only the per-race
+// detection-point snapshots. The setting is ignored when caching is
+// disabled.
+func WithCheckpointInterval(steps int64) Option {
+	return func(o *core.Options) { o.DetectCheckpointEvery = steps }
 }
 
 // Features are the technique gates of the paper's Fig 7 ablation.

@@ -1,12 +1,17 @@
 // Command paper-eval regenerates every table and figure of the paper's
 // evaluation (§5) on the workload suite, printing measured values next to
-// the published ones.
+// the published ones, and runs the labeled corpus evaluation — the
+// DataRaceBench-style accuracy suite — with an optional machine-readable
+// report and baseline gate.
 //
 // Usage:
 //
-//	paper-eval             # everything
-//	paper-eval -table 3    # just Table 3
-//	paper-eval -fig 7      # just Fig 7
+//	paper-eval                    # every table and figure
+//	paper-eval -table 3           # just Table 3
+//	paper-eval -fig 7             # just Fig 7
+//	paper-eval -corpus            # labeled corpus accuracy report
+//	paper-eval -corpus -json CORPUS.json -baseline CORPUS_6.json
+//	                              # ...write JSON, fail on accuracy regression
 package main
 
 import (
@@ -16,15 +21,25 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/eval"
+	"repro/internal/workloads/corpus"
 )
 
 func main() {
 	table := flag.Int("table", 0, "render only this table (1-5)")
 	fig := flag.Int("fig", 0, "render only this figure (7, 9, 10)")
+	corpusMode := flag.Bool("corpus", false, "run the labeled corpus evaluation (precision/recall, confusion matrix, throughput) instead of the paper tables")
+	corpusSeed := flag.Uint64("corpus-seed", corpus.DefaultSeed, "seed for the generated half of the corpus")
+	corpusPerFamily := flag.Int("corpus-per-family", corpus.DefaultPerFamily, "generated programs per family template")
+	jsonOut := flag.String("json", "", "write the corpus report as machine-readable JSON to this path (corpus mode)")
+	baseline := flag.String("baseline", "", "compare corpus accuracy against this baseline JSON and exit non-zero on any regression (corpus mode)")
 	parallel := cliutil.ParallelFlag("classification worker-pool width per run (1 = sequential; results are identical for every width, only wall-clock changes)")
 	flag.Parse()
 
 	opts := eval.Options(*parallel)
+
+	if *corpusMode {
+		os.Exit(runCorpus(*corpusSeed, *corpusPerFamily, *parallel, *jsonOut, *baseline))
+	}
 
 	needSuite := *fig == 0 || *table != 0
 	var s *eval.Suite
@@ -66,8 +81,53 @@ func main() {
 	}
 	if s != nil && all {
 		correct, total := s.Accuracy()
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(correct) / float64(total)
+		}
 		fmt.Printf("headline: Portend classified %d/%d races correctly (%.0f%%; paper: 92/93 = 99%%)\n",
-			correct, total, 100*float64(correct)/float64(total))
+			correct, total, pct)
 	}
 	os.Exit(0)
+}
+
+// runCorpus evaluates the labeled corpus and returns the process exit
+// code: 0 on success, 1 when the baseline gate finds a regression or a
+// labeled verdict diverges from its expected-Portend label.
+func runCorpus(seed uint64, perFamily, parallel int, jsonOut, baseline string) int {
+	res := eval.RunCorpusAt(seed, perFamily, parallel)
+	fmt.Println(eval.CorpusTables(res))
+
+	doc := res.Doc("paper-eval", perFamily)
+	doc.Seed = seed
+	if jsonOut != "" {
+		if err := eval.WriteCorpusDoc(jsonOut, doc); err != nil {
+			fmt.Fprintf(os.Stderr, "paper-eval: write %s: %v\n", jsonOut, err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", jsonOut)
+	}
+
+	exit := 0
+	if n := len(doc.Mismatches); n > 0 {
+		fmt.Fprintf(os.Stderr, "paper-eval: %d verdict(s) diverge from their expected-Portend labels\n", n)
+		exit = 1
+	}
+	if baseline != "" {
+		base, err := eval.LoadCorpusDoc(baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paper-eval: baseline: %v\n", err)
+			return 1
+		}
+		if regressions := eval.CompareCorpusDocs(doc, base); len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "paper-eval: corpus accuracy regressed vs %s:\n", baseline)
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "  - %s\n", r)
+			}
+			exit = 1
+		} else {
+			fmt.Printf("corpus accuracy gate vs %s: ok\n", baseline)
+		}
+	}
+	return exit
 }

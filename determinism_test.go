@@ -7,6 +7,7 @@ import (
 	"repro/internal/bytecode"
 	"repro/internal/core"
 	"repro/internal/workloads"
+	"repro/internal/workloads/corpus"
 )
 
 // renderResult renders everything user-visible about a run — verdict
@@ -130,6 +131,48 @@ func TestParallelDeterminism(t *testing.T) {
 			}
 			if want == "" {
 				t.Logf("workload %s produced no verdicts", w.Name)
+			}
+		})
+	}
+}
+
+// TestCorpusDeterminism extends the parallel-determinism property from
+// the seven hand-ported workloads to the full labeled corpus — curated
+// and generated halves alike: for every program of the default suite,
+// verdicts and reports are byte-identical across worker-pool widths 1
+// and 8 with the reuse caches on and off. The corpus accuracy baseline
+// (CORPUS_<n>.json) is only meaningful because of this property; the
+// generated programs also stress shapes (barriers, condvars, lock-free
+// bookkeeping) the built-in workloads cover more thinly.
+func TestCorpusDeterminism(t *testing.T) {
+	for _, cp := range corpus.Default() {
+		cp := cp
+		t.Run(cp.Name, func(t *testing.T) {
+			t.Parallel()
+			p := cp.Compile()
+			run := func(parallel int, noCache bool) string {
+				opts := core.DefaultOptions()
+				opts.Parallel = parallel
+				opts.NoCache = noCache
+				return renderResult(p, core.Run(p, cp.Args, cp.Inputs, opts))
+			}
+			want := run(1, false)
+			if want == "" {
+				t.Errorf("corpus program %s produced no verdicts", cp.Name)
+			}
+			for _, cfg := range []struct {
+				name     string
+				parallel int
+				noCache  bool
+			}{
+				{"parallel=8 caches=on", 8, false},
+				{"parallel=1 caches=off", 1, true},
+				{"parallel=8 caches=off", 8, true},
+			} {
+				if got := run(cfg.parallel, cfg.noCache); got != want {
+					t.Errorf("verdicts differ between -parallel 1 caches=on and %s\n--- want ---\n%s\n--- got ---\n%s",
+						cfg.name, want, got)
+				}
 			}
 		})
 	}

@@ -376,6 +376,61 @@ func Fig10(progNames []string) string {
 	return t.String()
 }
 
+// CorpusTables renders the corpus evaluation: the summary header, the
+// per-class precision/recall table, and the ground-truth × predicted
+// confusion matrix. Every ratio is rendered through guarded math, so
+// degenerate corpora — zero programs, zero races, races with no labels —
+// render "n/a" cells instead of dividing by zero (the empty-matrix edge
+// cases the corpus test suite pins).
+func CorpusTables(r *CorpusResult) string {
+	var b strings.Builder
+
+	correct, total := r.Accuracy()
+	eCorrect, eTotal := r.ExpectedMatch()
+	head := tables.New("Corpus: labeled classification accuracy",
+		"Programs", "Curated", "Generated", "Races", "Labeled", "Accuracy", "Expected match")
+	head.Add(r.Programs, r.Curated, r.Generated, r.Races(), r.Labeled(),
+		fmt.Sprintf("%d/%d (%s)", correct, total, tables.Pct(correct, total)),
+		fmt.Sprintf("%d/%d (%s)", eCorrect, eTotal, tables.Pct(eCorrect, eTotal)))
+	head.Note("accuracy compares verdicts to ground truth; expected match compares them to the expected-Portend labels (100%% on a healthy engine — the known misses are the gap between the two).")
+	secs := r.Duration.Seconds()
+	if secs > 0 {
+		head.Note("throughput: %.1f programs/sec, %.1f verdicts/sec (%.2fs total; informational, not gated).",
+			float64(r.Programs)/secs, float64(r.Races())/secs, secs)
+	}
+	b.WriteString(head.String())
+	b.WriteByte('\n')
+
+	pr := tables.New("Per-class precision/recall vs ground truth",
+		"Class", "TP", "FP", "FN", "Precision", "Recall")
+	for _, t := range r.Tallies() {
+		pr.Add(t.Class.String(), t.TP, t.FP, t.FN,
+			tables.Pct(t.TP, t.TP+t.FP), tables.Pct(t.TP, t.TP+t.FN))
+	}
+	pr.Note("precision = TP/(TP+FP) per predicted class; recall = TP/(TP+FN) per ground-truth class; n/a marks classes absent from the corpus.")
+	b.WriteString(pr.String())
+	b.WriteByte('\n')
+
+	m := r.Confusion()
+	cm := tables.New("Confusion matrix (rows: ground truth, columns: predicted)",
+		"truth \\ predicted", "specViol", "outDiff", "k-witness", "singleOrd")
+	for i, c := range corpusClasses {
+		cm.Add(c.String(), m[i][0], m[i][1], m[i][2], m[i][3])
+	}
+	b.WriteString(cm.String())
+
+	if mism := r.Mismatches(); len(mism) > 0 {
+		b.WriteByte('\n')
+		mt := tables.New("Expected-label mismatches (engine regressions or label bugs)",
+			"Program", "Family", "Global", "Expected", "Got")
+		for _, o := range mism {
+			mt.Add(o.Program, string(o.Family), o.Global, o.Want.String(), o.Got.String())
+		}
+		b.WriteString(mt.String())
+	}
+	return b.String()
+}
+
 // SortedNames returns the workload names in canonical order.
 func SortedNames(s *Suite) []string {
 	names := make([]string, 0, len(s.Runs))

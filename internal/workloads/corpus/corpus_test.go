@@ -1,0 +1,178 @@
+package corpus
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/lang"
+)
+
+// TestGenerateDeterministic pins the generator contract: the same
+// (seed, perFamily) yields byte-identical program text and labels, run
+// to run. The whole corpus baseline (CORPUS_<n>.json) rests on this.
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultSeed, DefaultPerFamily)
+	b := Generate(DefaultSeed, DefaultPerFamily)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatalf("program %d name differs: %q vs %q", i, a[i].Name, b[i].Name)
+		}
+		if a[i].Source != b[i].Source {
+			t.Errorf("%s: source differs between identical-seed generations", a[i].Name)
+		}
+		if !reflect.DeepEqual(a[i].Truth, b[i].Truth) {
+			t.Errorf("%s: labels differ between identical-seed generations", a[i].Name)
+		}
+		if !reflect.DeepEqual(a[i].KnownMiss, b[i].KnownMiss) {
+			t.Errorf("%s: known-miss sets differ between identical-seed generations", a[i].Name)
+		}
+	}
+}
+
+// TestGenerateSeedVaries asserts the seed actually reaches the drawn
+// parameters: a different seed must change at least one program's text,
+// while names stay identical (identity is seed-free by design).
+func TestGenerateSeedVaries(t *testing.T) {
+	a := Generate(1, DefaultPerFamily)
+	b := Generate(2, DefaultPerFamily)
+	varied := false
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Errorf("program %d: name %q became %q under a seed change; names must be seed-free",
+				i, a[i].Name, b[i].Name)
+		}
+		if a[i].Source != b[i].Source {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("seeds 1 and 2 generated identical corpora; the seed is not reaching the parameter draws")
+	}
+}
+
+// TestGenerateStreamsIndependent asserts the per-(family, index) stream
+// keying: widening perFamily must not reshuffle the programs already
+// generated at a smaller width.
+func TestGenerateStreamsIndependent(t *testing.T) {
+	narrow := Generate(DefaultSeed, 2)
+	wide := Generate(DefaultSeed, 5)
+	byName := map[string]*Program{}
+	for _, p := range wide {
+		byName[p.Name] = p
+	}
+	for _, p := range narrow {
+		w, ok := byName[p.Name]
+		if !ok {
+			t.Fatalf("%s present at perFamily=2 but missing at perFamily=5", p.Name)
+		}
+		if w.Source != p.Source {
+			t.Errorf("%s: source changed when perFamily widened from 2 to 5", p.Name)
+		}
+	}
+}
+
+// TestSuiteShape checks the shipped suite's size floor and that names
+// are unique — duplicate names would make confusion-matrix rows and
+// baseline mismatch reports ambiguous.
+func TestSuiteShape(t *testing.T) {
+	suite := Default()
+	if len(suite) < 50 {
+		t.Errorf("default suite has %d programs, want >= 50", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, p := range suite {
+		if seen[p.Name] {
+			t.Errorf("duplicate program name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	curated, generated := 0, 0
+	for _, p := range suite {
+		if p.Generated {
+			generated++
+			if p.Seed != DefaultSeed {
+				t.Errorf("%s: generated program carries seed %d, want %d", p.Name, p.Seed, DefaultSeed)
+			}
+		} else {
+			curated++
+			if p.Seed != 0 {
+				t.Errorf("%s: curated program carries nonzero seed %d", p.Name, p.Seed)
+			}
+		}
+	}
+	if curated == 0 || generated == 0 {
+		t.Errorf("suite must mix curated (%d) and generated (%d) programs", curated, generated)
+	}
+}
+
+// TestFamilyCoverage asserts every family in the taxonomy is exercised
+// by at least one program of the default suite, and that every program
+// names a family from the taxonomy.
+func TestFamilyCoverage(t *testing.T) {
+	suite := Default()
+	known := map[Family]bool{}
+	for _, f := range Families() {
+		known[f] = true
+	}
+	for _, f := range Families() {
+		if len(ByFamily(suite, f)) == 0 {
+			t.Errorf("family %s has no programs in the default suite", f)
+		}
+	}
+	for _, p := range suite {
+		if !known[p.Family] {
+			t.Errorf("%s: family %q is not in Families()", p.Name, p.Family)
+		}
+	}
+}
+
+// TestLabelInvariants checks every program of the default suite
+// compiles and carries well-formed labels:
+//
+//   - every Truth key names a real global of the compiled program;
+//   - every program labels at least one race;
+//   - KnownMiss only names labeled globals;
+//   - Expected.Portend differs from Expected.Truth exactly on the
+//     KnownMiss set — a divergence without a known-miss flag (or vice
+//     versa) is a labeling bug.
+func TestLabelInvariants(t *testing.T) {
+	for _, cp := range Default() {
+		cp := cp
+		t.Run(cp.Name, func(t *testing.T) {
+			src, err := lang.Parse(cp.Source)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			p, err := bytecode.Compile(src, cp.Name, bytecode.Options{})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if len(cp.Truth) == 0 {
+				t.Fatal("program labels no races")
+			}
+			for name, exp := range cp.Truth {
+				if p.GlobalID(name) < 0 {
+					t.Errorf("label names global %q, which the compiled program does not declare", name)
+				}
+				if diverges := exp.Portend != exp.Truth; diverges != cp.KnownMiss[name] {
+					if diverges {
+						t.Errorf("global %q: expected Portend verdict %v differs from truth %v but is not flagged as a known miss",
+							name, exp.Portend, exp.Truth)
+					} else {
+						t.Errorf("global %q: flagged as a known miss but Portend and truth labels agree (%v)",
+							name, exp.Truth)
+					}
+				}
+			}
+			for name := range cp.KnownMiss {
+				if _, ok := cp.Truth[name]; !ok {
+					t.Errorf("KnownMiss names %q, which has no label", name)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,26 @@
+package corpus
+
+// Curated returns the hand-picked half of the corpus: at least one
+// instance of every family, with parameters chosen to sit squarely on the
+// idiom each family is named for. The trickier shapes — the deadlock, the
+// out-of-bounds crash, the double free, and the solver-blind known miss —
+// are anchored here so they exist even at generator width zero.
+func Curated() []*Program {
+	return []*Program{
+		adhocFlag("cur-adhoc-flag", []int64{11, 12, 13, 14}, 8),
+		dcl("cur-dcl", 3, 42),
+		redundantWrite("cur-redundant-write", 7, 1, 2),
+		benignGauge("cur-benign-gauge", 50, 75),
+		statsOutput("cur-stats-output", 2, false),
+		statsOutput("cur-stats-gated", 3, true),
+		statsSilent("cur-stats-silent", 2, 2, 3),
+		deadlockFlag("cur-deadlock", 4),
+		crashIndex("cur-crash-index", 4, 1, 7, 5),
+		doubleFree("cur-double-free", 6, 4),
+		lockFreeQueue("cur-lockfree-queue", 6),
+		barrierHandoff("cur-barrier-handoff", 5),
+		condvarHandoff("cur-condvar-handoff", 9),
+		symPrefix("cur-sym-prefix", 3, 4, 200),
+		solverBlind("cur-solver-blind", 49737637),
+	}
+}

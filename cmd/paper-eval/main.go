@@ -15,12 +15,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/cliutil"
 	"repro/internal/eval"
+	"repro/internal/server"
 	"repro/internal/workloads/corpus"
 )
 
@@ -32,13 +34,19 @@ func main() {
 	corpusPerFamily := flag.Int("corpus-per-family", corpus.DefaultPerFamily, "generated programs per family template")
 	jsonOut := flag.String("json", "", "write the corpus report as machine-readable JSON to this path (corpus mode)")
 	baseline := flag.String("baseline", "", "compare corpus accuracy against this baseline JSON and exit non-zero on any regression (corpus mode)")
+	remote := flag.String("remote", "", "run the corpus through a portendd instance at this base URL instead of in-process (corpus mode)")
+	tenant := flag.String("tenant", "", "tenant identity sent to the portendd instance (-remote only)")
 	parallel := cliutil.ParallelFlag("classification worker-pool width per run (1 = sequential; results are identical for every width, only wall-clock changes)")
 	flag.Parse()
 
 	opts := eval.Options(*parallel)
 
 	if *corpusMode {
-		os.Exit(runCorpus(*corpusSeed, *corpusPerFamily, *parallel, *jsonOut, *baseline))
+		os.Exit(runCorpus(*corpusSeed, *corpusPerFamily, *parallel, *jsonOut, *baseline, *remote, *tenant))
+	}
+	if *remote != "" {
+		fmt.Fprintln(os.Stderr, "paper-eval: -remote requires -corpus (the paper tables run in-process)")
+		os.Exit(2)
 	}
 
 	needSuite := *fig == 0 || *table != 0
@@ -91,11 +99,23 @@ func main() {
 	os.Exit(0)
 }
 
-// runCorpus evaluates the labeled corpus and returns the process exit
+// runCorpus evaluates the labeled corpus — in-process, or through a
+// portendd instance when remote is set — and returns the process exit
 // code: 0 on success, 1 when the baseline gate finds a regression or a
 // labeled verdict diverges from its expected-Portend label.
-func runCorpus(seed uint64, perFamily, parallel int, jsonOut, baseline string) int {
-	res := eval.RunCorpusAt(seed, perFamily, parallel)
+func runCorpus(seed uint64, perFamily, parallel int, jsonOut, baseline, remote, tenant string) int {
+	var res *eval.CorpusResult
+	if remote != "" {
+		c := &server.Client{Base: remote, Tenant: tenant}
+		var err error
+		res, err = eval.RunCorpusRemote(context.Background(), c, corpus.Suite(seed, perFamily), parallel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paper-eval: %v\n", err)
+			return 1
+		}
+	} else {
+		res = eval.RunCorpusAt(seed, perFamily, parallel)
+	}
 	fmt.Println(eval.CorpusTables(res))
 
 	doc := res.Doc("paper-eval", perFamily)

@@ -28,6 +28,7 @@ import (
 	"os"
 
 	"repro/internal/cliutil"
+	"repro/internal/server"
 	"repro/portend"
 )
 
@@ -44,6 +45,8 @@ func main() {
 	stream := flag.Bool("stream", false, "print verdicts as they land (detection order) instead of the sorted summary")
 	timeout := flag.Duration("timeout", 0, "abort the analysis after this long, reporting partial results (0 = no deadline)")
 	verbose := flag.Bool("v", false, "print full debugging-aid reports")
+	remote := flag.String("remote", "", "submit to a portendd instance at this base URL instead of analyzing in-process")
+	tenant := flag.String("tenant", "", "tenant identity sent to the portendd instance (-remote only)")
 	flag.Parse()
 
 	a := portend.New(
@@ -84,6 +87,15 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *remote != "" {
+		if *whatIf {
+			fatal(errors.New("-whatif is not supported with -remote (the analysis runs server-side)"))
+		}
+		runRemote(ctx, *remote, *tenant, *workload, args, inputs,
+			*mp, *ma, *sym, *parallel, *jsonOut, *verbose)
+		return
 	}
 
 	if *whatIf {
@@ -128,6 +140,75 @@ func main() {
 		fmt.Fprintf(os.Stderr, "portend: analysis incomplete: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runRemote submits the analysis to a portendd instance and renders its
+// NDJSON stream. In JSON mode each verdict event's payload is re-emitted
+// verbatim, so stdout is byte-identical to a local `-stream -json` run
+// (modulo stats counters, which depend on cache history); the done
+// summary goes to stderr as one `portend: done {...}` line.
+func runRemote(ctx context.Context, base, tenant, workload string, args, inputs []int64, mp, ma, sym, parallel int, jsonOut, verbose bool) {
+	req := server.Request{
+		Args:    args,
+		Inputs:  inputs,
+		Verbose: verbose,
+		Options: &server.RequestOptions{Mp: mp, Ma: ma, SymbolicInputs: sym, Parallel: parallel},
+	}
+	switch {
+	case workload != "":
+		req.Workload = workload
+	case flag.NArg() == 1:
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		req.Source, req.Name = string(src), flag.Arg(0)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: portend -remote URL [flags] prog.pil (or -workload name)")
+		os.Exit(2)
+	}
+
+	c := &server.Client{Base: base, Tenant: tenant}
+	i := 0
+	done, err := c.Analyze(ctx, req, func(ev server.Event) error {
+		switch ev.Type {
+		case server.EventDegraded:
+			fmt.Fprintf(os.Stderr, "portend: server degraded the run to mp=%d ma=%d under load\n",
+				ev.Degraded.Mp, ev.Degraded.Ma)
+		case server.EventRaceError:
+			fmt.Fprintf(os.Stderr, "classification error: race %s: %s\n", ev.Race, ev.Message)
+		case server.EventVerdict:
+			i++
+			if jsonOut {
+				os.Stdout.Write(ev.Verdict)
+				os.Stdout.Write([]byte{'\n'})
+				return nil
+			}
+			v, derr := ev.DecodeVerdict()
+			if derr != nil {
+				return derr
+			}
+			fmt.Printf("[%d] %s  —  %s\n", i, v.Race.ID, ev.Summary)
+			if verbose && ev.Report != "" {
+				fmt.Println(cliutil.Indent(ev.Report, "    "))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if jsonOut {
+		b, _ := json.Marshal(done)
+		fmt.Fprintf(os.Stderr, "portend: done %s\n", b)
+		return
+	}
+	fmt.Printf("done: %d race(s), %d verdict(s), %d error(s) in %.3fs",
+		done.Races, done.Verdicts, done.Errors, float64(done.DurationNs)/1e9)
+	if done.WarmStart {
+		fmt.Printf("  (warm start: tier run %d)", done.Tier.Runs)
+	}
+	fmt.Println()
 }
 
 // streamVerdicts prints each verdict the moment it (and every earlier

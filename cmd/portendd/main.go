@@ -1,0 +1,71 @@
+// Command portendd is the long-lived Portend analysis service: an HTTP
+// daemon that accepts many concurrent analysis submissions, streams
+// verdicts back as NDJSON, and keeps per-submission persistent cache
+// tiers so repeat analyses of the same program start warm (solver memo,
+// concrete and symbolic checkpoints, sibling-outcome memos survive
+// across requests).
+//
+// Usage:
+//
+//	portendd [-addr :7811] [-slots N] [-queue-soft 2] [-queue-hard 8]
+//	         [-memory-budget-mb 256] [-max-tiers N] [-solver-ceiling N]
+//
+// Endpoints: POST /v1/analyze (NDJSON verdict stream), GET /metrics
+// (Prometheus text), GET /healthz. Tenants identify themselves with the
+// X-Portend-Tenant header; admission is round-robin fair across
+// tenants, with per-tenant bounded queues that degrade budgets past the
+// soft depth and shed with 429 at the hard depth. See docs/service.md.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7811", "listen address")
+	slots := flag.Int("slots", 0, "concurrent analyses (0 = GOMAXPROCS)")
+	queueSoft := flag.Int("queue-soft", 2, "per-tenant queue depth beyond which runs use a degraded budget")
+	queueHard := flag.Int("queue-hard", 8, "per-tenant queue depth at which requests are shed with 429")
+	memBudget := flag.Int("memory-budget-mb", 256, "collective memory budget for persistent cache tiers")
+	maxTiers := flag.Int("max-tiers", 0, "cache-tier count bound (0 = derive from -memory-budget-mb)")
+	solverCeiling := flag.Int("solver-ceiling", 0, "adaptive solver-cache ceiling per tier (0 = default)")
+	parallel := flag.Int("parallel", 0, "default per-request classification pool width (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Slots:              *slots,
+		QueueSoft:          *queueSoft,
+		QueueHard:          *queueHard,
+		MemoryBudgetMB:     *memBudget,
+		MaxTiers:           *maxTiers,
+		SolverCacheCeiling: *solverCeiling,
+		DefaultParallel:    *parallel,
+	})
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "portendd: listening on %s\n", *addr)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "portendd: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -199,6 +199,19 @@ type Options struct {
 	// 0; without it a zero Seed falls back to DefaultOptions().Seed.
 	SeedSet bool
 
+	// Tier, when non-nil, supplies run-outliving caches (checkpoint
+	// stores, solver memo) instead of the per-run set RunStream would
+	// otherwise create. The caller owns the soundness contract: a tier
+	// may only be shared between runs of the identical (program, args,
+	// inputs, options) — see CacheTier. Ignored when NoCache is set.
+	Tier *CacheTier
+
+	// SolverCacheCeiling bounds the adaptive solver cache's growth for
+	// runs that create their own caches (<= 0 means the default ceiling;
+	// see solver.NewAdaptiveCache). A server hosting many tiers sets this
+	// to budget memory per tier.
+	SolverCacheCeiling int
+
 	// shared carries the per-run caches (replay checkpoints, solver
 	// memo) that RunStream threads through every classifier it builds.
 	// nil lets each Classifier create its own private set.
@@ -268,6 +281,13 @@ type Stats struct {
 	SymCheckpointHits int
 	SolverCacheHits   int
 
+	// SiblingMemoHits counts pending-fork re-runs this classification
+	// skipped via the symbolic store's sibling-outcome memo (the skipped
+	// run's branch decisions are still credited to Branches). Like the
+	// checkpoint hit counters it depends on what earlier work memoized,
+	// so it may vary with pool width and cache warmth.
+	SiblingMemoHits int
+
 	// TruncatedPaths counts exploration the multi-path phase gave up on:
 	// forked siblings dropped at the queue cap plus worklist items
 	// abandoned when the item cap ended the search short of Mp primaries.
@@ -291,6 +311,14 @@ type Stats struct {
 	// whichever race was being timed — a warmth indicator, not a precise
 	// per-race cost.
 	SolverCacheEvictions int
+
+	// SolverCacheCap is the solver cache's capacity when this race
+	// finished classifying — fixed for explicitly sized caches, the
+	// adaptively chosen size otherwise. SolverCacheResizes counts
+	// adaptive growth events that landed while this race classified
+	// (same attribution caveat as SolverCacheEvictions).
+	SolverCacheCap     int
+	SolverCacheResizes int
 
 	Duration time.Duration
 }

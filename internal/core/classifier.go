@@ -25,9 +25,10 @@ type Classifier struct {
 	// concrete store; symHits counts multi-path explorations that resumed
 	// from the symbolic store. Both are only touched from the goroutine
 	// driving ClassifyCtx.
-	shared   *sharedCaches
-	ckptHits int
-	symHits  int
+	shared      *sharedCaches
+	ckptHits    int
+	symHits     int
+	sibMemoHits int // pending-fork re-runs skipped via the sibling memo
 
 	// vmCounters aggregates interpreter fast-path tallies (fused
 	// superinstructions, interned constants) across every machine this
@@ -91,7 +92,11 @@ func New(prog *bytecode.Program, opts Options) *Classifier {
 	}
 	shared := opts.shared
 	if shared == nil && !opts.NoCache {
-		shared = newSharedCaches(opts)
+		if opts.Tier != nil {
+			shared = opts.Tier.shared
+		} else {
+			shared = newSharedCaches(opts)
+		}
 	}
 	sol := solver.New(opts.Solver)
 	sol.Cache = shared.solverCache()
@@ -179,20 +184,23 @@ func (c *Classifier) ClassifyCtx(cctx context.Context, rep *race.Report, tr *tra
 // classification; finishStats turns it into per-race deltas.
 type statsSnap struct {
 	queries, cacheHits, ckptHits, symHits, evictions int
+	sibMemoHits, resizes                             int
 	fused, interned                                  int64
 }
 
 func (c *Classifier) snapStats() statsSnap {
 	s := statsSnap{
-		queries:   c.sol.Queries(),
-		cacheHits: c.sol.CacheHits(),
-		ckptHits:  c.ckptHits,
-		symHits:   c.symHits,
-		fused:     c.vmCounters.FusedOps.Load(),
-		interned:  c.vmCounters.InternedConsts.Load(),
+		queries:     c.sol.Queries(),
+		cacheHits:   c.sol.CacheHits(),
+		ckptHits:    c.ckptHits,
+		symHits:     c.symHits,
+		sibMemoHits: c.sibMemoHits,
+		fused:       c.vmCounters.FusedOps.Load(),
+		interned:    c.vmCounters.InternedConsts.Load(),
 	}
 	if c.sol.Cache != nil {
 		s.evictions = c.sol.Cache.Evictions()
+		s.resizes = c.sol.Cache.Resizes()
 	}
 	return s
 }
@@ -202,10 +210,13 @@ func (c *Classifier) finishStats(v *Verdict, mp *mpResult, snap statsSnap, start
 	v.Stats.SolverCacheHits = c.sol.CacheHits() - snap.cacheHits
 	v.Stats.CheckpointHits = c.ckptHits - snap.ckptHits
 	v.Stats.SymCheckpointHits = c.symHits - snap.symHits
+	v.Stats.SiblingMemoHits = c.sibMemoHits - snap.sibMemoHits
 	v.Stats.FusedOps = c.vmCounters.FusedOps.Load() - snap.fused
 	v.Stats.InternedConsts = c.vmCounters.InternedConsts.Load() - snap.interned
 	if c.sol.Cache != nil {
 		v.Stats.SolverCacheEvictions = c.sol.Cache.Evictions() - snap.evictions
+		v.Stats.SolverCacheCap = c.sol.Cache.Cap()
+		v.Stats.SolverCacheResizes = c.sol.Cache.Resizes() - snap.resizes
 	}
 	if mp != nil {
 		v.Stats.Branches = mp.branches

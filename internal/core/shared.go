@@ -43,8 +43,20 @@ func newSharedCaches(opts Options) *sharedCaches {
 	return &sharedCaches{
 		store: ckpt.NewStore(opts.MaxCheckpoints),
 		sym:   ckpt.NewSymStore(opts.MaxCheckpoints),
-		cache: solver.NewCache(0),
+		cache: solver.NewAdaptiveCache(0, opts.SolverCacheCeiling),
 	}
+}
+
+// unbind releases the bundle's trace binding so the next run can bind
+// its own trace. Only CacheTier.BeginRun calls this, and only on the
+// 0→1 active-run transition: stored checkpoints are positions within a
+// recorded schedule, and a tier's reuse contract (identical program,
+// args, inputs, options ⇒ identical recorded trace) is what makes
+// entries recorded against the previous run's trace valid for the next.
+func (s *sharedCaches) unbind() {
+	s.mu.Lock()
+	s.tr = nil
+	s.mu.Unlock()
 }
 
 // bindTrace binds the bundle to tr on first use and reports whether tr
@@ -159,6 +171,53 @@ func (ac *accessCounter) readsAt(space vm.Space, obj int64, tid int, line int32)
 // touchedObj reports whether the object class has been accessed at all.
 func (ac *accessCounter) touchedObj(space vm.Space, obj int64) bool {
 	return ac.touched[objClass{space, normObj(space, obj)}]
+}
+
+// touchTrack is the minimal observer behind sibling-outcome memoization:
+// it records only which object classes a run accesses (no read counts),
+// so a completed pending-fork run can be summarized as "touched these
+// objects, decided this many branches" and skipped by later explorations
+// whose racy object is not in the set.
+type touchTrack struct {
+	touched map[objClass]bool
+}
+
+func newTouchTrack() *touchTrack { return &touchTrack{touched: map[objClass]bool{}} }
+
+// OnAccess implements vm.Observer.
+func (t *touchTrack) OnAccess(st *vm.State, tid int, loc vm.Loc, write bool, pc bytecode.PCRef, tInstr int64) {
+	t.touched[objClass{loc.Space, normObj(loc.Space, loc.Obj)}] = true
+}
+
+// OnSync implements vm.Observer (no-op).
+func (t *touchTrack) OnSync(st *vm.State, ev vm.SyncEvent) {}
+
+// CloneObs implements vm.Observer.
+func (t *touchTrack) CloneObs() vm.Observer {
+	n := newTouchTrack()
+	for k, v := range t.touched {
+		n.touched[k] = v
+	}
+	return n
+}
+
+// list renders the touched set as ckpt's wire form.
+func (t *touchTrack) list() []ckpt.TouchedObj {
+	out := make([]ckpt.TouchedObj, 0, len(t.touched))
+	for k := range t.touched {
+		out = append(out, ckpt.TouchedObj{Space: k.space, Obj: k.obj})
+	}
+	return out
+}
+
+// dropTouchTrack removes the touch tracker from a state's observers.
+func dropTouchTrack(st *vm.State) {
+	for i, o := range st.Observers {
+		if _, ok := o.(*touchTrack); ok {
+			st.Observers = append(st.Observers[:i], st.Observers[i+1:]...)
+			return
+		}
+	}
 }
 
 // findAccessCounter retrieves the replay's access counter, if any.

@@ -1,0 +1,88 @@
+package core
+
+import "testing"
+
+// siblingSkipProg is shaped so the sibling-outcome memo can fire: the
+// symbolic branch on input() forks an else-arm sibling that bypasses the
+// entire race block and only touches `done`. The first race to resume a
+// symbolic checkpoint runs that sibling once and records its outcome;
+// every later race finds its own global absent from the memo's touched
+// set and skips the re-run.
+const siblingSkipProg = `
+var g0 = 0
+var g1 = 0
+var g2 = 0
+var g3 = 0
+var done = 0
+fn w0() { g0 = 7 }
+fn w1() { g1 = 7 }
+fn w2() { g2 = 7 }
+fn w3() { g3 = 7 }
+fn main() {
+	let x = input()
+	if x < 100 {
+		let t0 = spawn w0()
+		yield()
+		g0 = 7
+		join(t0)
+		let t1 = spawn w1()
+		yield()
+		g1 = 7
+		join(t1)
+		let t2 = spawn w2()
+		yield()
+		g2 = 7
+		join(t2)
+		let t3 = spawn w3()
+		yield()
+		g3 = 7
+		join(t3)
+	}
+	done = 1
+	print("done=", done + x)
+}`
+
+// sumMemoHits totals SiblingMemoHits over all verdicts of a run.
+func sumMemoHits(res *Result) int {
+	n := 0
+	for _, v := range res.Verdicts {
+		n += v.Stats.SiblingMemoHits
+	}
+	return n
+}
+
+func TestSiblingMemoFires(t *testing.T) {
+	res := classify(t, siblingSkipProg, DefaultOptions(), nil, []int64{2})
+	if len(res.Verdicts) != 4 {
+		t.Fatalf("want 4 verdicts, got %d", len(res.Verdicts))
+	}
+	if sumMemoHits(res) == 0 {
+		t.Fatalf("sibling memo never fired across %d verdicts", len(res.Verdicts))
+	}
+}
+
+// TestSiblingMemoPreservesVerdicts pins that skipping a memoized sibling
+// re-run changes no verdict: with caches off the memo machinery is inert,
+// and the rendered classes must match the cached run exactly.
+func TestSiblingMemoPreservesVerdicts(t *testing.T) {
+	warm := classify(t, siblingSkipProg, DefaultOptions(), nil, []int64{2})
+	coldOpts := DefaultOptions()
+	coldOpts.NoCache = true
+	cold := classify(t, siblingSkipProg, coldOpts, nil, []int64{2})
+	if sumMemoHits(warm) == 0 {
+		t.Fatal("warm run recorded no memo hits")
+	}
+	if n := sumMemoHits(cold); n != 0 {
+		t.Fatalf("cache-off run should not memoize, got %d hits", n)
+	}
+	if len(warm.Verdicts) != len(cold.Verdicts) {
+		t.Fatalf("verdict count differs: caches on %d, off %d", len(warm.Verdicts), len(cold.Verdicts))
+	}
+	for i := range warm.Verdicts {
+		w, c := warm.Verdicts[i], cold.Verdicts[i]
+		if w.Race.ID() != c.Race.ID() || w.String() != c.String() {
+			t.Errorf("verdict %d differs: caches on %s -> %s, off %s -> %s",
+				i, w.Race.ID(), w, c.Race.ID(), c)
+		}
+	}
+}

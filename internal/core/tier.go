@@ -1,0 +1,124 @@
+package core
+
+import "sync"
+
+// CacheTier is a run-outliving handle on the engine's reuse machinery —
+// the concrete and symbolic checkpoint stores and the memoizing solver
+// cache — for callers (portendd) that analyze the same submission
+// repeatedly and want the second run to start warm.
+//
+// Soundness contract: a tier may only be shared between runs of the
+// identical (program, args, inputs, engine options). The engine is
+// deterministic under that key — every run records the same trace
+// instruction for instruction — so checkpoints deposited against one
+// run's trace are states the next run's replay would pass through
+// anyway, and resuming from them cannot change a verdict (the same
+// argument the determinism suite pins for within-run cache reuse). The
+// solver cache needs no key at all: Solve is a pure function of the
+// query, so cross-run (even cross-program) hits are always sound. The
+// server enforces the key by addressing tiers with a hash of the
+// canonical submission.
+//
+// The checkpoint stores bind to one *trace.Trace by pointer identity.
+// BeginRun clears that binding when no other run is active, letting the
+// new run's trace bind; while runs overlap, later runs simply fail the
+// binding and run checkpoint-cold (sharing only the solver cache) —
+// degraded warmth, never degraded correctness.
+type CacheTier struct {
+	shared *sharedCaches
+
+	mu     sync.Mutex
+	active int
+	runs   int64
+}
+
+// NewCacheTier builds an empty tier sized by the options' cache bounds
+// (MaxCheckpoints per store, SolverCacheCeiling for the adaptive solver
+// cache).
+func NewCacheTier(opts Options) *CacheTier {
+	return &CacheTier{shared: newSharedCaches(opts)}
+}
+
+// BeginRun marks a run as using the tier and returns its end function.
+// On the transition from idle, the checkpoint stores' trace binding is
+// released so the run's freshly recorded trace can bind; entry contents
+// are kept — that is the point of the tier. The returned end is
+// idempotent and must be called when the run finishes.
+func (t *CacheTier) BeginRun() (end func()) {
+	t.mu.Lock()
+	if t.active == 0 {
+		t.shared.unbind()
+	}
+	t.active++
+	t.runs++
+	t.mu.Unlock()
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			t.mu.Lock()
+			t.active--
+			t.mu.Unlock()
+		})
+	}
+}
+
+// Runs returns how many runs have used the tier.
+func (t *CacheTier) Runs() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.runs
+}
+
+// TierStats is a point-in-time snapshot of a tier's cache population and
+// traffic, aggregated across every run that used it.
+type TierStats struct {
+	Checkpoints       int
+	CheckpointHits    int
+	CheckpointMisses  int
+	CheckpointThinned int
+
+	SymCheckpoints int
+	SymHits        int
+	SymMisses      int
+	SymThinned     int
+	SiblingMemos   int
+	SibMemoHits    int
+
+	SolverEntries   int
+	SolverHits      int
+	SolverMisses    int
+	SolverEvictions int
+	SolverCap       int
+	SolverResizes   int
+}
+
+// Warm reports whether the tier holds anything a new run could reuse.
+func (s TierStats) Warm() bool {
+	return s.Checkpoints > 0 || s.SymCheckpoints > 0 || s.SolverEntries > 0
+}
+
+// Stats snapshots the tier's caches.
+func (t *CacheTier) Stats() TierStats {
+	sh := t.shared
+	return TierStats{
+		Checkpoints:       sh.store.Len(),
+		CheckpointHits:    sh.store.Hits(),
+		CheckpointMisses:  sh.store.Misses(),
+		CheckpointThinned: sh.store.Thinned(),
+
+		SymCheckpoints: sh.sym.Len(),
+		SymHits:        sh.sym.Hits(),
+		SymMisses:      sh.sym.Misses(),
+		SymThinned:     sh.sym.Thinned(),
+		SiblingMemos:   sh.sym.MemoLen(),
+		SibMemoHits:    sh.sym.MemoHits(),
+
+		SolverEntries:   sh.cache.Len(),
+		SolverHits:      sh.cache.Hits(),
+		SolverMisses:    sh.cache.Misses(),
+		SolverEvictions: sh.cache.Evictions(),
+		SolverCap:       sh.cache.Cap(),
+		SolverResizes:   sh.cache.Resizes(),
+	}
+}

@@ -1,0 +1,185 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrOverloaded is returned by admit when the caller's queue is at its
+// hard bound; the handler maps it to HTTP 429.
+var ErrOverloaded = errors.New("server overloaded: tenant queue full")
+
+// dispatcher is the admission controller: a fixed pool of analysis
+// slots handed out fairly across tenants. Each tenant has a bounded
+// FIFO; a round-robin pump walks tenants in first-seen order, granting
+// one queued job per turn, so a tenant that floods the service delays
+// itself, not its neighbours. Past the soft depth a request is admitted
+// with a degraded (coarser) exploration budget; at the hard depth it is
+// shed with ErrOverloaded instead of queueing without bound.
+type dispatcher struct {
+	mu     sync.Mutex
+	slots  int                     // free slots
+	queues map[string]*tenantQueue // keyed by tenant
+	ring   []string                // tenants in first-seen order
+	last   string                  // tenant granted most recently; scans resume after it
+	soft   int                     // queue depth beyond which runs degrade
+	hard   int                     // queue depth at which requests shed
+
+	shed     atomic.Int64
+	degraded atomic.Int64
+	active   atomic.Int64
+}
+
+type tenantQueue struct {
+	jobs []*job
+}
+
+type job struct {
+	ready chan struct{} // closed when a slot is granted
+	gone  bool          // abandoned (caller's context ended) before grant
+}
+
+// newDispatcher builds a dispatcher with the given pool width and
+// per-tenant queue thresholds.
+func newDispatcher(slots, soft, hard int) *dispatcher {
+	if slots < 1 {
+		slots = 1
+	}
+	if soft < 1 {
+		soft = 1
+	}
+	if hard < soft {
+		hard = soft
+	}
+	return &dispatcher{slots: slots, queues: make(map[string]*tenantQueue), soft: soft, hard: hard}
+}
+
+// admit blocks until the tenant is granted an analysis slot, the
+// context ends, or the tenant's queue is full. It returns a release
+// function (idempotent) and whether the run should execute with a
+// degraded budget.
+func (d *dispatcher) admit(ctx context.Context, tenant string) (release func(), degraded bool, err error) {
+	d.mu.Lock()
+	q := d.queues[tenant]
+	if q == nil {
+		q = &tenantQueue{}
+		d.queues[tenant] = q
+		d.ring = append(d.ring, tenant)
+	}
+	if len(q.jobs) >= d.hard {
+		depth := len(q.jobs)
+		d.mu.Unlock()
+		d.shed.Add(1)
+		return nil, false, &overloadError{tenant: tenant, depth: depth}
+	}
+	degraded = len(q.jobs) >= d.soft
+	j := &job{ready: make(chan struct{})}
+	q.jobs = append(q.jobs, j)
+	d.pump()
+	d.mu.Unlock()
+
+	if degraded {
+		d.degraded.Add(1)
+	}
+
+	select {
+	case <-j.ready:
+	case <-ctx.Done():
+		d.mu.Lock()
+		select {
+		case <-j.ready:
+			// Granted while we were cancelling: give the slot back.
+			d.slots++
+			d.pump()
+			d.mu.Unlock()
+		default:
+			j.gone = true
+			d.mu.Unlock()
+		}
+		return nil, false, ctx.Err()
+	}
+
+	d.active.Add(1)
+	var once sync.Once
+	release = func() {
+		once.Do(func() {
+			d.active.Add(-1)
+			d.mu.Lock()
+			d.slots++
+			d.pump()
+			d.mu.Unlock()
+		})
+	}
+	return release, degraded, nil
+}
+
+// pump hands free slots to queued jobs, one tenant per turn in ring
+// order, resuming after the most recently granted tenant (tracked by
+// name, so the rotation survives tenants joining the ring between
+// grants). Abandoned jobs are discarded as they surface. Callers hold
+// d.mu.
+func (d *dispatcher) pump() {
+	for d.slots > 0 && len(d.ring) > 0 {
+		start := 0
+		for i, t := range d.ring {
+			if t == d.last {
+				start = i + 1
+				break
+			}
+		}
+		granted := false
+		for scanned := 0; scanned < len(d.ring); scanned++ {
+			t := d.ring[(start+scanned)%len(d.ring)]
+			q := d.queues[t]
+			for len(q.jobs) > 0 {
+				j := q.jobs[0]
+				q.jobs = q.jobs[1:]
+				if j.gone {
+					continue
+				}
+				d.slots--
+				close(j.ready)
+				d.last = t
+				granted = true
+				break
+			}
+			if granted {
+				break
+			}
+		}
+		if !granted {
+			return
+		}
+	}
+}
+
+// depths snapshots every tenant's queue depth for /metrics.
+func (d *dispatcher) depths() map[string]int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]int, len(d.queues))
+	for t, q := range d.queues {
+		n := 0
+		for _, j := range q.jobs {
+			if !j.gone {
+				n++
+			}
+		}
+		out[t] = n
+	}
+	return out
+}
+
+// overloadError carries the shed context the handler needs for the 429
+// body; it matches ErrOverloaded under errors.Is.
+type overloadError struct {
+	tenant string
+	depth  int
+}
+
+func (e *overloadError) Error() string { return ErrOverloaded.Error() }
+func (e *overloadError) Is(target error) bool {
+	return target == ErrOverloaded
+}

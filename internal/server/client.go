@@ -1,0 +1,117 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client talks to a portendd instance. The zero value is not usable;
+// set Base (e.g. "http://localhost:7811"). Tenant, when set, is sent as
+// the X-Portend-Tenant header so the server queues the caller fairly
+// against other tenants.
+type Client struct {
+	Base   string
+	Tenant string
+	HTTP   *http.Client
+}
+
+// OverloadedError reports a request shed with HTTP 429 at the server's
+// hard queue bound.
+type OverloadedError struct {
+	Tenant     string
+	QueueDepth int
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("portendd overloaded (tenant %q, queue depth %d)", e.Tenant, e.QueueDepth)
+}
+
+// RemoteError reports a terminal error event or a non-streaming error
+// response from the server.
+type RemoteError struct {
+	Status  int
+	Message string
+}
+
+func (e *RemoteError) Error() string {
+	if e.Status != 0 {
+		return fmt.Sprintf("portendd: HTTP %d: %s", e.Status, e.Message)
+	}
+	return "portendd: " + e.Message
+}
+
+// Analyze submits a request and streams its events to fn in arrival
+// order (degraded first if present, then verdicts/race errors in
+// deterministic detection order). It returns the terminal done summary.
+// fn returning an error abandons the stream — closing the response body
+// cancels the server-side run and frees its slot. A nil fn just drains.
+func (c *Client) Analyze(ctx context.Context, req Request, fn func(Event) error) (*DoneInfo, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(c.Base, "/")+"/v1/analyze", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if c.Tenant != "" {
+		hreq.Header.Set(TenantHeader, c.Tenant)
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+
+	if resp.StatusCode != http.StatusOK {
+		var eb ErrorBody
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+		if json.Unmarshal(msg, &eb) == nil && eb.Error != "" {
+			if eb.Overloaded {
+				return nil, &OverloadedError{Tenant: eb.Tenant, QueueDepth: eb.QueueDepth}
+			}
+			return nil, &RemoteError{Status: resp.StatusCode, Message: eb.Error}
+		}
+		return nil, &RemoteError{Status: resp.StatusCode, Message: strings.TrimSpace(string(msg))}
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("portendd: bad stream line: %w", err)
+		}
+		switch ev.Type {
+		case EventDone:
+			return ev.Done, nil
+		case EventError:
+			return nil, &RemoteError{Message: ev.Message}
+		}
+		if fn != nil {
+			if err := fn(ev); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, &RemoteError{Message: "stream ended without a done event"}
+}

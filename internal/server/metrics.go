@@ -1,0 +1,75 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// metrics aggregates service-level counters; cache-tier and queue
+// figures are sampled from their owners at scrape time rather than
+// double-counted here.
+type metrics struct {
+	start     time.Time
+	requests  atomic.Int64 // analyses admitted and started
+	completed atomic.Int64 // analyses that ran to a terminal event
+	badReqs   atomic.Int64 // rejected before admission (400)
+	cancelled atomic.Int64 // runs ended by client disconnect/cancel
+}
+
+// handleMetrics renders the Prometheus text exposition format
+// (version 0.0.4) by hand — the service depends only on the standard
+// library.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	g := func(name, help, typ string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, v)
+	}
+
+	g("portend_uptime_seconds", "Seconds since the server started.", "gauge",
+		int64(time.Since(s.metrics.start).Seconds()))
+	g("portend_requests_total", "Analysis requests admitted and started.", "counter",
+		s.metrics.requests.Load())
+	g("portend_requests_completed_total", "Analyses that reached a terminal event.", "counter",
+		s.metrics.completed.Load())
+	g("portend_requests_bad_total", "Requests rejected as malformed (HTTP 400).", "counter",
+		s.metrics.badReqs.Load())
+	g("portend_requests_cancelled_total", "Analyses ended early by client disconnect or cancel.", "counter",
+		s.metrics.cancelled.Load())
+	g("portend_requests_active", "Analyses holding a slot right now.", "gauge",
+		s.dispatch.active.Load())
+	g("portend_shed_total", "Requests shed with HTTP 429 at the hard queue bound.", "counter",
+		s.dispatch.shed.Load())
+	g("portend_degraded_total", "Runs admitted with a degraded exploration budget.", "counter",
+		s.dispatch.degraded.Load())
+
+	depths := s.dispatch.depths()
+	tenants := make([]string, 0, len(depths))
+	for t := range depths {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	fmt.Fprintf(w, "# HELP portend_queue_depth Queued (admitted-but-waiting) requests per tenant.\n# TYPE portend_queue_depth gauge\n")
+	for _, t := range tenants {
+		fmt.Fprintf(w, "portend_queue_depth{tenant=%q} %d\n", t, depths[t])
+	}
+
+	nTiers, tierEvictions, agg := s.tiers.snapshot()
+	g("portend_tiers", "Resident persistent cache tiers.", "gauge", nTiers)
+	g("portend_tier_evictions_total", "Whole tiers evicted by the registry's LRU bound.", "counter", tierEvictions)
+	g("portend_tier_checkpoints", "Concrete replay checkpoints resident across tiers.", "gauge", agg.Checkpoints)
+	g("portend_tier_checkpoint_hits_total", "Replays resumed from a tier's concrete store.", "counter", agg.CheckpointHits)
+	g("portend_tier_checkpoint_thinned_total", "Concrete checkpoints dropped by store thinning.", "counter", agg.CheckpointThinned)
+	g("portend_tier_sym_checkpoints", "Symbolic exploration checkpoints resident across tiers.", "gauge", agg.SymCheckpoints)
+	g("portend_tier_sym_hits_total", "Explorations resumed from a tier's symbolic store.", "counter", agg.SymHits)
+	g("portend_tier_sibling_memos", "Memoized sibling outcomes resident across tiers.", "gauge", agg.SiblingMemos)
+	g("portend_tier_sibling_memo_hits_total", "Pending-fork re-runs skipped via sibling memos.", "counter", agg.SibMemoHits)
+	g("portend_tier_solver_entries", "Solver memo entries resident across tiers.", "gauge", agg.SolverEntries)
+	g("portend_tier_solver_hits_total", "Solver queries answered from a tier's memo.", "counter", agg.SolverHits)
+	g("portend_tier_solver_evictions_total", "Solver memo entries evicted (LRU) across tiers.", "counter", agg.SolverEvictions)
+	g("portend_tier_solver_cap", "Summed adaptive solver-cache capacity across tiers.", "gauge", agg.SolverCap)
+	g("portend_tier_solver_resizes_total", "Adaptive solver-cache growth steps across tiers.", "counter", agg.SolverResizes)
+}

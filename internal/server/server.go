@@ -1,0 +1,307 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/portend"
+)
+
+// Config sizes the service. Zero values mean the documented defaults.
+type Config struct {
+	// Slots is the number of analyses that run concurrently (default
+	// GOMAXPROCS). Everything past it queues.
+	Slots int
+
+	// QueueSoft is the per-tenant queue depth beyond which admitted
+	// requests run with a degraded exploration budget (default 2);
+	// QueueHard is the depth at which requests are shed with 429
+	// (default 8). Bounded queues plus shedding keep memory and latency
+	// bounded under overload — the service degrades verdict coarseness
+	// before it degrades availability.
+	QueueSoft int
+	QueueHard int
+
+	// MemoryBudgetMB bounds the persistent cache tiers collectively
+	// (default 256). It converts to a tier count with a coarse ~8MB
+	// per-tier estimate (checkpoint stores dominate; see docs/
+	// service.md); MaxTiers overrides the conversion directly.
+	MemoryBudgetMB int
+	MaxTiers       int
+
+	// SolverCacheCeiling caps each tier's adaptive solver memo (<= 0
+	// means the solver package default).
+	SolverCacheCeiling int
+
+	// DefaultParallel is the pool width for requests that do not set
+	// one (default: the engine default, GOMAXPROCS).
+	DefaultParallel int
+}
+
+// estTierMB is the coarse per-tier memory estimate used to convert
+// MemoryBudgetMB into a tier count: 64 checkpoints × ~2 stores ×
+// ~50KB state clones, plus the solver memo, rounded up generously.
+const estTierMB = 8
+
+func (c Config) withDefaults() Config {
+	if c.Slots < 1 {
+		c.Slots = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueSoft < 1 {
+		c.QueueSoft = 2
+	}
+	if c.QueueHard < 1 {
+		c.QueueHard = 8
+	}
+	if c.MemoryBudgetMB < 1 {
+		c.MemoryBudgetMB = 256
+	}
+	if c.MaxTiers < 1 {
+		c.MaxTiers = c.MemoryBudgetMB / estTierMB
+		if c.MaxTiers < 1 {
+			c.MaxTiers = 1
+		}
+	}
+	return c
+}
+
+// Server is the portendd service: admission control in front of the
+// portend analyzer, persistent cache tiers behind it.
+type Server struct {
+	cfg      Config
+	dispatch *dispatcher
+	tiers    *tierRegistry
+	metrics  metrics
+}
+
+// New builds a Server from the config.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	tierOpts := core.DefaultOptions()
+	tierOpts.SolverCacheCeiling = cfg.SolverCacheCeiling
+	return &Server{
+		cfg:      cfg,
+		dispatch: newDispatcher(cfg.Slots, cfg.QueueSoft, cfg.QueueHard),
+		tiers:    newTierRegistry(cfg.MaxTiers, tierOpts),
+		metrics:  metrics{start: time.Now()},
+	}
+}
+
+// Handler returns the service's HTTP routes: POST /v1/analyze (NDJSON
+// verdict stream), GET /metrics (Prometheus text), GET /healthz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	return mux
+}
+
+// TenantHeader names the request header carrying the tenant identity;
+// absent, the request lands in the "default" tenant's queue.
+const TenantHeader = "X-Portend-Tenant"
+
+// maxRequestBody bounds the decoded request (PIL sources are small;
+// 8MB is far above any real submission).
+const maxRequestBody = 8 << 20
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err := dec.Decode(&req); err != nil {
+		s.metrics.badReqs.Add(1)
+		writeError(w, http.StatusBadRequest, ErrorBody{Error: "bad request: " + err.Error()})
+		return
+	}
+	if err := req.Validate(); err != nil {
+		s.metrics.badReqs.Add(1)
+		writeError(w, http.StatusBadRequest, ErrorBody{Error: err.Error()})
+		return
+	}
+	tenant := r.Header.Get(TenantHeader)
+	if tenant == "" {
+		tenant = "default"
+	}
+
+	ctx := r.Context()
+	release, degraded, err := s.dispatch.admit(ctx, tenant)
+	if err != nil {
+		var oe *overloadError
+		if errors.As(err, &oe) {
+			writeError(w, http.StatusTooManyRequests, ErrorBody{
+				Error:      err.Error(),
+				Overloaded: true,
+				Tenant:     oe.tenant,
+				QueueDepth: oe.depth,
+			})
+			return
+		}
+		// Context ended while queued; the client is gone.
+		s.metrics.cancelled.Add(1)
+		return
+	}
+	defer release()
+	s.metrics.requests.Add(1)
+
+	opts := s.optionsFor(&req)
+	var deg *DegradedInfo
+	if degraded {
+		opts = degradeOptions(opts)
+		deg = &DegradedInfo{Mp: opts.Mp, Ma: opts.Ma}
+	}
+
+	// The tier key hashes the effective options, so degraded runs get a
+	// tier of their own — a coarser run's checkpoints are states of a
+	// different exploration and must not warm a full-budget run.
+	tier, _ := s.tiers.get(keyFor(&req, opts))
+	before := tier.Stats()
+	endRun := tier.BeginRun()
+	defer endRun()
+	opts.Tier = tier
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	emit := func(e Event) bool {
+		if err := enc.Encode(e); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	if deg != nil {
+		if !emit(Event{Type: EventDegraded, Degraded: deg}) {
+			return
+		}
+	}
+
+	a := portend.New(portend.WithEngineOptions(opts))
+	target := req.Target()
+	start := time.Now()
+	done := DoneInfo{Target: target.Name(), Degraded: degraded, WarmStart: before.Warm()}
+	terminalErr := false
+	for v, err := range a.Analyze(ctx, target) {
+		if err != nil {
+			var re *portend.RaceError
+			if errors.As(err, &re) {
+				done.Errors++
+				if !emit(Event{Type: EventRaceError, Race: re.RaceID, Message: re.Err.Error()}) {
+					return
+				}
+				continue
+			}
+			terminalErr = true
+			if ctx.Err() != nil {
+				s.metrics.cancelled.Add(1)
+			}
+			emit(Event{Type: EventError, Message: err.Error()})
+			break
+		}
+		raw, err := json.Marshal(v)
+		if err != nil {
+			terminalErr = true
+			emit(Event{Type: EventError, Message: "marshal verdict: " + err.Error()})
+			break
+		}
+		done.Verdicts++
+		ev := Event{Type: EventVerdict, Verdict: raw, Summary: v.String()}
+		if req.Verbose {
+			ev.Report = v.DebugReport()
+		}
+		if !emit(ev) {
+			s.metrics.cancelled.Add(1)
+			return
+		}
+	}
+	if terminalErr {
+		s.metrics.completed.Add(1)
+		return
+	}
+
+	done.Races = done.Verdicts + done.Errors
+	done.DurationNs = time.Since(start).Nanoseconds()
+	done.Tier = tierInfo(tier)
+	emit(Event{Type: EventDone, Done: &done})
+	s.metrics.completed.Add(1)
+}
+
+// optionsFor resolves a request's options against the service
+// defaults.
+func (s *Server) optionsFor(req *Request) core.Options {
+	opts := core.DefaultOptions()
+	opts.SolverCacheCeiling = s.cfg.SolverCacheCeiling
+	opts.Parallel = s.cfg.DefaultParallel
+	if ro := req.Options; ro != nil {
+		if ro.Mp > 0 {
+			opts.Mp = ro.Mp
+		}
+		if ro.Ma > 0 {
+			opts.Ma = ro.Ma
+		}
+		if ro.SymbolicInputs > 0 {
+			opts.SymbolicInputs = ro.SymbolicInputs
+		}
+		if ro.Parallel > 0 {
+			opts.Parallel = ro.Parallel
+		}
+		if ro.MaxForks > 0 {
+			opts.MaxForks = ro.MaxForks
+		}
+		if ro.RunBudget > 0 {
+			opts.RunBudget = ro.RunBudget
+		}
+		if ro.EnforceBudget > 0 {
+			opts.EnforceBudget = ro.EnforceBudget
+		}
+		if ro.Seed != nil {
+			opts.Seed, opts.SeedSet = *ro.Seed, true
+		}
+	}
+	return opts
+}
+
+// degradeOptions is the soft-shed budget: coarser multi-path and
+// multi-schedule bounds that still produce verdicts for every race,
+// just with fewer witnesses (a smaller k) — the paper's own knobs for
+// trading coverage against time.
+func degradeOptions(opts core.Options) core.Options {
+	if opts.Mp > 2 {
+		opts.Mp = 2
+	}
+	opts.Ma = 1
+	return opts
+}
+
+func tierInfo(t *core.CacheTier) TierInfo {
+	s := t.Stats()
+	return TierInfo{
+		Runs:            t.Runs(),
+		Checkpoints:     s.Checkpoints,
+		CheckpointHits:  s.CheckpointHits,
+		SymCheckpoints:  s.SymCheckpoints,
+		SymHits:         s.SymHits,
+		SiblingMemoHits: s.SibMemoHits,
+		SolverEntries:   s.SolverEntries,
+		SolverHits:      s.SolverHits,
+		SolverCap:       s.SolverCap,
+		SolverResizes:   s.SolverResizes,
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, body ErrorBody) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(body)
+}

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/json"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// tierKey addresses a cache tier: the SHA-256 of the submission's
+// canonical fingerprint. Identical keys mean identical (program, args,
+// inputs, engine options) — the soundness contract core.CacheTier
+// requires — so the deterministic engine records the identical trace
+// and cached states are interchangeable across runs.
+type tierKey [sha256.Size]byte
+
+// fingerprint captures everything that shapes a run's trace and
+// verdicts. Parallel is deliberately absent: verdict content and the
+// recorded trace are byte-identical at every pool width (the
+// determinism suite pins this), so submissions differing only in width
+// share a tier and each other's warmth.
+type fingerprint struct {
+	Workload  string  `json:"w,omitempty"`
+	Source    string  `json:"s,omitempty"`
+	Name      string  `json:"n,omitempty"`
+	Args      []int64 `json:"a"`
+	ArgsSet   bool    `json:"as"`
+	Inputs    []int64 `json:"i"`
+	InputsSet bool    `json:"is"`
+
+	Mp, Ma, Sym, MaxForks    int
+	RunBudget, EnforceBudget int64
+	Seed                     uint64
+	SeedSet                  bool
+}
+
+// keyFor derives the tier key for a request resolved to effective
+// engine options (post-degradation, so degraded runs get their own
+// tier and never poison a full-budget tier's checkpoints).
+func keyFor(req *Request, opts core.Options) tierKey {
+	fp := fingerprint{
+		Workload:  req.Workload,
+		Source:    req.Source,
+		Name:      req.Name,
+		Args:      req.Args,
+		ArgsSet:   req.Args != nil,
+		Inputs:    req.Inputs,
+		InputsSet: req.Inputs != nil,
+
+		Mp:            opts.Mp,
+		Ma:            opts.Ma,
+		Sym:           opts.SymbolicInputs,
+		MaxForks:      opts.MaxForks,
+		RunBudget:     opts.RunBudget,
+		EnforceBudget: opts.EnforceBudget,
+		Seed:          opts.Seed,
+		SeedSet:       opts.SeedSet,
+	}
+	b, err := json.Marshal(fp)
+	if err != nil {
+		// fingerprint is marshal-safe by construction
+		panic(err)
+	}
+	return sha256.Sum256(b)
+}
+
+// tierRegistry is the LRU-bounded map from submission key to its
+// persistent cache tier. Eviction drops whole tiers (their stores and
+// solver memo) — the memory budget is enforced at tier granularity.
+type tierRegistry struct {
+	mu   sync.Mutex
+	max  int
+	m    map[tierKey]*list.Element
+	lru  list.List // front = most recently used
+	opts core.Options
+
+	evictions int64
+}
+
+type tierEntry struct {
+	key  tierKey
+	tier *core.CacheTier
+}
+
+// newTierRegistry builds a registry holding at most max tiers, each
+// sized by opts' cache bounds (MaxCheckpoints, SolverCacheCeiling).
+func newTierRegistry(max int, opts core.Options) *tierRegistry {
+	if max < 1 {
+		max = 1
+	}
+	return &tierRegistry{max: max, m: make(map[tierKey]*list.Element), opts: opts}
+}
+
+// get returns the tier for key, creating it (and evicting the least
+// recently used tier when full) on first sight.
+func (r *tierRegistry) get(key tierKey) (tier *core.CacheTier, created bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if el, ok := r.m[key]; ok {
+		r.lru.MoveToFront(el)
+		return el.Value.(*tierEntry).tier, false
+	}
+	for len(r.m) >= r.max {
+		oldest := r.lru.Back()
+		if oldest == nil {
+			break
+		}
+		r.lru.Remove(oldest)
+		delete(r.m, oldest.Value.(*tierEntry).key)
+		r.evictions++
+	}
+	t := core.NewCacheTier(r.opts)
+	r.m[key] = r.lru.PushFront(&tierEntry{key: key, tier: t})
+	return t, true
+}
+
+// snapshot sums every resident tier's stats for /metrics.
+func (r *tierRegistry) snapshot() (n int, evictions int64, agg core.TierStats) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for el := r.lru.Front(); el != nil; el = el.Next() {
+		s := el.Value.(*tierEntry).tier.Stats()
+		agg.Checkpoints += s.Checkpoints
+		agg.CheckpointHits += s.CheckpointHits
+		agg.CheckpointMisses += s.CheckpointMisses
+		agg.CheckpointThinned += s.CheckpointThinned
+		agg.SymCheckpoints += s.SymCheckpoints
+		agg.SymHits += s.SymHits
+		agg.SymMisses += s.SymMisses
+		agg.SymThinned += s.SymThinned
+		agg.SiblingMemos += s.SiblingMemos
+		agg.SibMemoHits += s.SibMemoHits
+		agg.SolverEntries += s.SolverEntries
+		agg.SolverHits += s.SolverHits
+		agg.SolverMisses += s.SolverMisses
+		agg.SolverEvictions += s.SolverEvictions
+		agg.SolverCap += s.SolverCap
+		agg.SolverResizes += s.SolverResizes
+	}
+	return len(r.m), r.evictions, agg
+}

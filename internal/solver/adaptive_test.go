@@ -1,0 +1,104 @@
+package solver
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+// adaptiveQuery builds a distinct single-variable query (x == k) along
+// with the canonical pieces put/get expect.
+func adaptiveQuery(k int64) (hash uint64, flat []expr.Expr, names []string) {
+	q := expr.Eq(expr.NewSym(fmt.Sprintf("x%d", k)), expr.NewConst(k))
+	flat = []expr.Expr{q}
+	names = []string{fmt.Sprintf("x%d", k)}
+	return queryHash(flat, names, nil), flat, names
+}
+
+// TestFixedCapNeverGrows pins the historical contract: an explicit
+// positive max is a hard bound — no matter how valuable the entries
+// look, the cache evicts instead of resizing.
+func TestFixedCapNeverGrows(t *testing.T) {
+	c := NewCache(2)
+	// Manufacture a perfect hit rate over expensive entries.
+	for k := int64(0); k < 2; k++ {
+		h, flat, names := adaptiveQuery(k)
+		c.put(h, flat, names, nil, nil, Unsat, 10_000)
+		for i := 0; i < 50; i++ {
+			if _, _, hit := c.get(h, flat, names, nil); !hit {
+				t.Fatalf("expected hit for query %d", k)
+			}
+		}
+	}
+	for k := int64(2); k < 10; k++ {
+		h, flat, names := adaptiveQuery(k)
+		c.put(h, flat, names, nil, nil, Unsat, 10_000)
+	}
+	if got := c.Cap(); got != 2 {
+		t.Fatalf("fixed cache grew: cap = %d, want 2", got)
+	}
+	if got := c.Resizes(); got != 0 {
+		t.Fatalf("fixed cache recorded %d resizes, want 0", got)
+	}
+	if got := c.Len(); got != 2 {
+		t.Fatalf("fixed cache holds %d entries, want 2", got)
+	}
+}
+
+// TestAdaptiveCacheGrowsUnderHitPressure: when entries are expensive to
+// recompute and the hit rate is high, a full insert doubles the cap
+// instead of evicting, up to the ceiling.
+func TestAdaptiveCacheGrowsUnderHitPressure(t *testing.T) {
+	c := NewAdaptiveCache(2, 8)
+	for k := int64(0); k < 2; k++ {
+		h, flat, names := adaptiveQuery(k)
+		c.put(h, flat, names, nil, nil, Unsat, 10_000)
+		for i := 0; i < 50; i++ {
+			if _, _, hit := c.get(h, flat, names, nil); !hit {
+				t.Fatalf("expected hit for query %d", k)
+			}
+		}
+	}
+	// Inserting at capacity with hitRate≈1 and avgNodes=10000 ≫
+	// entryCostNodes must grow, not evict.
+	for k := int64(2); k < 20; k++ {
+		h, flat, names := adaptiveQuery(k)
+		c.put(h, flat, names, nil, nil, Unsat, 10_000)
+	}
+	if got := c.Cap(); got != 8 {
+		t.Fatalf("adaptive cap = %d, want ceiling 8", got)
+	}
+	if got := c.Resizes(); got != 2 {
+		t.Fatalf("resizes = %d, want 2 (2→4→8)", got)
+	}
+	// At the ceiling the cache is fixed again: evictions resume.
+	if got := c.Evictions(); got == 0 {
+		t.Fatalf("expected evictions after hitting the ceiling, got 0")
+	}
+	if got := c.Len(); got != 8 {
+		t.Fatalf("len = %d, want 8", got)
+	}
+}
+
+// TestAdaptiveCacheStaysSmallWithoutHits: entries that are cheap to
+// recompute and never re-queried do not justify growth — the cache
+// evicts at its initial size.
+func TestAdaptiveCacheStaysSmallWithoutHits(t *testing.T) {
+	c := NewAdaptiveCache(2, 64)
+	for k := int64(0); k < 10; k++ {
+		h, flat, names := adaptiveQuery(k)
+		// A miss per insert keeps the hit rate at zero.
+		c.get(h, flat, names, nil)
+		c.put(h, flat, names, nil, nil, Unsat, 3)
+	}
+	if got := c.Cap(); got != 2 {
+		t.Fatalf("hit-less adaptive cache grew: cap = %d, want 2", got)
+	}
+	if got := c.Resizes(); got != 0 {
+		t.Fatalf("resizes = %d, want 0", got)
+	}
+	if got := c.Evictions(); got != 8 {
+		t.Fatalf("evictions = %d, want 8", got)
+	}
+}

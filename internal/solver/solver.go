@@ -467,24 +467,25 @@ func (s *Solver) Solve(constraints []expr.Expr, hints expr.Assignment) (expr.Ass
 			return model, res
 		}
 	}
-	model, res, interrupted := s.search(flat, names, hints)
+	model, res, interrupted, nodes := s.search(flat, names, hints)
 	if s.Cache != nil && !interrupted {
-		s.Cache.put(key, flat, names, hints, model, res)
+		s.Cache.put(key, flat, names, hints, model, res, nodes)
 	}
 	return model, res
 }
 
 // search runs the actual decision procedure on an already-flattened
 // conjunction. interrupted reports that the Unknown result came from the
-// Interrupt hook rather than the search budget.
-func (s *Solver) search(flat []expr.Expr, names []string, hints expr.Assignment) (expr.Assignment, Result, bool) {
+// Interrupt hook rather than the search budget; nodes is the search-tree
+// size this query visited (the re-search cost a cache hit would save).
+func (s *Solver) search(flat []expr.Expr, names []string, hints expr.Assignment) (expr.Assignment, Result, bool, int) {
 	// Domains and propagation.
 	domains := make(map[string]*interval, len(names))
 	for _, n := range names {
 		domains[n] = &interval{lo: -s.opts.DomainRadius, hi: s.opts.DomainRadius}
 	}
 	if !propagate(flat, domains) {
-		return nil, Unsat, false
+		return nil, Unsat, false, 0
 	}
 
 	// Candidate sets.
@@ -496,9 +497,9 @@ func (s *Solver) search(flat []expr.Expr, names []string, hints expr.Assignment)
 		vals, complete := s.candidates(*domains[n], consts, hint, hasHint)
 		if len(vals) == 0 {
 			if complete {
-				return nil, Unsat, false
+				return nil, Unsat, false, 0
 			}
-			return nil, Unknown, false
+			return nil, Unknown, false, 0
 		}
 		cand[i] = vals
 		allComplete = allComplete && complete
@@ -593,12 +594,12 @@ func (s *Solver) search(flat []expr.Expr, names []string, hints expr.Assignment)
 		for k, v := range env {
 			model[k] = v
 		}
-		return model, Sat, false
+		return model, Sat, false, nodes
 	}
 	if nodes > s.opts.MaxNodes || interrupted || !allComplete {
-		return nil, Unknown, interrupted
+		return nil, Unknown, interrupted, nodes
 	}
-	return nil, Unsat, false
+	return nil, Unsat, false, nodes
 }
 
 // MayBeTrue reports whether cond can be true under the path condition.

@@ -126,6 +126,16 @@ type Stats struct {
 	// being timed when the eviction happened.
 	SolverCacheEvictions int `json:"solverCacheEvictions,omitempty"`
 
+	// SiblingMemoHits counts pending-fork re-runs this classification
+	// skipped because a memoized sibling outcome proved the fork never
+	// touches the racy object. SolverCacheCap is the solver memo's
+	// capacity when the race finished; SolverCacheResizes counts adaptive
+	// growth steps attributed to this race. Like the cache-hit counters
+	// above, all three are reuse accounting and may vary between runs.
+	SiblingMemoHits    int `json:"siblingMemoHits,omitempty"`
+	SolverCacheCap     int `json:"solverCacheCap,omitempty"`
+	SolverCacheResizes int `json:"solverCacheResizes,omitempty"`
+
 	Duration time.Duration `json:"durationNs"`
 }
 
@@ -203,6 +213,9 @@ func newVerdict(cv *core.Verdict, prog *bytecode.Program) Verdict {
 			FusedOps:             cv.Stats.FusedOps,
 			InternedConsts:       cv.Stats.InternedConsts,
 			SolverCacheEvictions: cv.Stats.SolverCacheEvictions,
+			SiblingMemoHits:      cv.Stats.SiblingMemoHits,
+			SolverCacheCap:       cv.Stats.SolverCacheCap,
+			SolverCacheResizes:   cv.Stats.SolverCacheResizes,
 			Duration:             cv.Stats.Duration,
 		},
 		prog: prog,

@@ -327,6 +327,44 @@ func BenchmarkCheckpoint_SymbolicPrefix(b *testing.B) {
 	}
 }
 
+// BenchmarkStaticPrune measures the static dead-item prune on the
+// workload shape it exists for: nested tainted guards gate the racy
+// region, so multi-path exploration forks one bypass sibling per guard
+// and every sibling runs a long concrete tail to completion before
+// being discarded. The prune skips those siblings up front — the test
+// suite pins that it removes ≥20% of worklist items on these shapes
+// with byte-identical verdicts; this benchmark prices the saving. The
+// prune=off arm is the honest baseline.
+func BenchmarkStaticPrune(b *testing.B) {
+	for _, shape := range []struct {
+		name              string
+		depth, races, pad int
+	}{
+		{"deep", 6, 2, 4000},
+		{"wide", 3, 4, 4000},
+	} {
+		src := workloads.StaticPruneSource(shape.depth, shape.races, shape.pad)
+		w := &workloads.Workload{Name: "static-prune-" + shape.name, Source: src, Inputs: []int64{100}}
+		p := w.Compile()
+		for _, prune := range []bool{true, false} {
+			name := shape.name + "/prune=on"
+			if !prune {
+				name = shape.name + "/prune=off"
+			}
+			opts := core.DefaultOptions()
+			opts.NoStaticPrune = !prune
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res := core.Run(p, nil, w.Inputs, opts)
+					if len(res.Errors) != 0 {
+						b.Fatalf("classification errors: %v", res.Errors)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkVM_Checkpoint measures State.Clone, the primitive behind
 // Algorithm 1's checkpoints and Algorithm 2's forking.
 func BenchmarkVM_Checkpoint(b *testing.B) {

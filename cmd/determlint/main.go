@@ -1,0 +1,259 @@
+// Command determlint is the repository's determinism lint: a small
+// stdlib-only static check (go/ast + go/types) for the two patterns
+// that have historically threatened the engine's byte-identical-verdict
+// contract.
+//
+// Rules:
+//
+//   - map-range-order: a `for ... range` over a map whose body appends
+//     to a slice builds an ordered artifact from unordered iteration.
+//     The idiomatic fix — collect then sort — is recognized: a loop is
+//     only reported when no sort.* call follows it in the enclosing
+//     function. Loops whose order is provably irrelevant can carry a
+//     `//determlint:unordered` comment on the range line.
+//
+//   - time-now: wall-clock reads make output depend on when the run
+//     happened. time.Now is allowed only in the approved files named by
+//     -timeok (duration measurement for stats and metrics) and in
+//     tests; everywhere else it is reported.
+//
+// Usage:
+//
+//	determlint ./internal/core ./internal/server ./portend
+//
+// Each argument is one package directory (non-recursive). Findings are
+// printed as file:line: rule: message; the exit status is 1 when any
+// finding fires, so CI can gate on it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// defaultTimeOK approves the files that legitimately read the wall
+// clock: run-duration stats and service metrics. Matching is by path
+// suffix; _test.go files are always exempt.
+const defaultTimeOK = "internal/core/classifier.go,internal/server/server.go,portend/analyze.go,internal/eval/corpus.go,internal/eval/corpus_remote.go"
+
+func main() {
+	timeOK := flag.String("timeok", defaultTimeOK,
+		"comma-separated path suffixes where time.Now is approved")
+	withTests := flag.Bool("tests", false, "also lint _test.go files (time.Now stays exempt in tests)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: determlint [flags] dir [dir...]")
+		os.Exit(2)
+	}
+
+	var approved []string
+	for _, s := range strings.Split(*timeOK, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			approved = append(approved, s)
+		}
+	}
+
+	var findings []string
+	for _, dir := range flag.Args() {
+		fs, err := lintDir(dir, approved, *withTests)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "determlint: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Strings(findings)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "determlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// lintDir parses and type-checks one package directory. Imports resolve
+// to empty placeholder packages (the rules only need types declared in
+// the package itself — every map the engine ranges over is a local
+// type), so the check needs no build cache and no network.
+func lintDir(dir string, approved []string, withTests bool) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return withTests || !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+
+	var findings []string
+	for _, pkg := range pkgs {
+		var files []*ast.File
+		names := make([]string, 0, len(pkg.Files))
+		for name := range pkg.Files {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			files = append(files, pkg.Files[name])
+		}
+
+		info := &types.Info{Types: map[ast.Expr]types.TypeAndValue{}}
+		conf := types.Config{
+			Importer: stubImporter{},
+			Error:    func(error) {}, // placeholder imports make some errors inevitable
+		}
+		// The returned error repeats what the Error hook saw; the Info
+		// map is filled for everything that did resolve, which is all the
+		// rules consume.
+		_, _ = conf.Check(dir, fset, files, info)
+
+		for _, f := range files {
+			findings = append(findings, lintFile(fset, f, info, approved)...)
+		}
+	}
+	return findings, nil
+}
+
+// stubImporter satisfies every import with an empty, complete package:
+// selections into it type as invalid and are simply not flagged.
+type stubImporter struct{}
+
+func (stubImporter) Import(path string) (*types.Package, error) {
+	name := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		name = path[i+1:]
+	}
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	return p, nil
+}
+
+func lintFile(fset *token.FileSet, f *ast.File, info *types.Info, approved []string) []string {
+	var findings []string
+	fname := fset.Position(f.Pos()).Filename
+	isTest := strings.HasSuffix(fname, "_test.go")
+
+	// Lines carrying a //determlint:unordered waiver.
+	waived := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "determlint:unordered") {
+				waived[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+
+	report := func(pos token.Pos, rule, msg string) {
+		p := fset.Position(pos)
+		findings = append(findings, fmt.Sprintf("%s:%d: %s: %s", relPath(p.Filename), p.Line, rule, msg))
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		fn, ok := n.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			return true
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if waived[fset.Position(rs.Pos()).Line] {
+				return true
+			}
+			if !appendsInBody(rs.Body) {
+				return true
+			}
+			if sortCallAfter(fn.Body, rs.End()) {
+				return true
+			}
+			report(rs.Pos(), "map-range-order",
+				"appends to a slice while ranging over a map; sort the result or waive with //determlint:unordered")
+			return true
+		})
+		return false // fn bodies handled above; don't descend twice
+	})
+
+	if !isTest && !suffixMatch(fname, approved) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "time" && sel.Sel.Name == "Now" {
+				report(sel.Pos(), "time-now",
+					"wall-clock read outside the approved files (-timeok); results must not depend on when the run happened")
+			}
+			return true
+		})
+	}
+	return findings
+}
+
+// appendsInBody reports whether the loop body contains a call to the
+// append builtin — the signature of building an ordered slice from
+// unordered map iteration.
+func appendsInBody(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// sortCallAfter reports whether any sort.* call appears after pos in
+// the function body — the collect-then-sort idiom that restores a
+// deterministic order.
+func sortCallAfter(body *ast.BlockStmt, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Pos() < pos {
+			return !found
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == "sort" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func suffixMatch(path string, suffixes []string) bool {
+	path = filepath.ToSlash(path)
+	for _, s := range suffixes {
+		if strings.HasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func relPath(p string) string {
+	if wd, err := os.Getwd(); err == nil {
+		if r, err := filepath.Rel(wd, p); err == nil && !strings.HasPrefix(r, "..") {
+			return r
+		}
+	}
+	return p
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const badSrc = `package p
+
+import "time"
+
+type set map[string]bool
+
+// keys builds an ordered artifact from unordered iteration: flagged.
+func keys(s set) []string {
+	var out []string
+	for k := range s {
+		out = append(out, k)
+	}
+	return out
+}
+
+func stamp() int64 { return time.Now().UnixNano() }
+`
+
+const goodSrc = `package q
+
+import "sort"
+
+type set map[string]bool
+
+// sortedKeys collects then sorts: the idiom the lint recognizes.
+func sortedKeys(s set) []string {
+	var out []string
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// copyInto ranges a map without building a slice: not flagged.
+func copyInto(dst, src set) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// waived carries the explicit annotation.
+func waived(s set) []string {
+	var out []string
+	for k := range s { //determlint:unordered
+		out = append(out, k)
+	}
+	return out
+}
+`
+
+func writeDir(t *testing.T, name, file, src string) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, file), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestFlagsMapRangeAndTimeNow(t *testing.T) {
+	dir := writeDir(t, "bad", "bad.go", badSrc)
+	findings, err := lintDir(dir, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("findings = %v, want map-range-order + time-now", findings)
+	}
+	joined := strings.Join(findings, "\n")
+	for _, want := range []string{"map-range-order", "time-now"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %s finding in %v", want, findings)
+		}
+	}
+}
+
+func TestSortedWaivedAndMapCopyPass(t *testing.T) {
+	dir := writeDir(t, "good", "good.go", goodSrc)
+	findings, err := lintDir(dir, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("unexpected findings: %v", findings)
+	}
+}
+
+func TestApprovedFileMayReadClock(t *testing.T) {
+	dir := writeDir(t, "approved", "clock.go", `package r
+
+import "time"
+
+func stamp() int64 { return time.Now().UnixNano() }
+`)
+	findings, err := lintDir(dir, []string{"approved/clock.go"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("approved file still flagged: %v", findings)
+	}
+}

@@ -8,6 +8,7 @@
 //	pilrun [-args 1,2,3] [-inputs 4,5] [-budget N] [-disasm] prog.pil
 //	pilrun -workload pbzip2
 //	pilrun -workload ocean -timeout 5s
+//	pilrun -check prog.pil
 package main
 
 import (
@@ -25,6 +26,8 @@ func main() {
 	inputsFlag := flag.String("inputs", "", "comma-separated input log values")
 	budget := flag.Int64("budget", 50_000_000, "instruction budget")
 	disasm := flag.Bool("disasm", false, "print disassembly and exit")
+	check := flag.Bool("check", false, "run the static pre-analysis and exit (no execution); -json emits the canonical artifact")
+	jsonOut := flag.Bool("json", false, "with -check, emit the byte-stable static artifact instead of diagnostics")
 	workload := flag.String("workload", "", "run a built-in workload instead of a file")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
 	// -parallel is accepted for interface symmetry with portend and
@@ -57,6 +60,22 @@ func main() {
 	}
 	if inputs != nil {
 		target = target.WithInputs(inputs...)
+	}
+
+	if *check {
+		rep, err := portend.Lint(target)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			os.Stdout.Write(rep.Artifact())
+		} else {
+			fmt.Print(rep.String())
+		}
+		if rep.HasErrors() {
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *disasm {

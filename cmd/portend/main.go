@@ -11,6 +11,7 @@
 //	portend -workload memcached -whatif
 //	portend -workload rw -json
 //	portend -workload sqlite -stream -timeout 30s
+//	portend -lint prog.pil
 //
 // Classification runs on a worker pool (-parallel, default GOMAXPROCS);
 // the verdicts are byte-identical for every pool width. -json emits one
@@ -44,6 +45,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report on stdout")
 	stream := flag.Bool("stream", false, "print verdicts as they land (detection order) instead of the sorted summary")
 	timeout := flag.Duration("timeout", 0, "abort the analysis after this long, reporting partial results (0 = no deadline)")
+	lint := flag.Bool("lint", false, "run the static pre-analysis only: candidate race pairs, locksets, and lint diagnostics (no execution)")
 	verbose := flag.Bool("v", false, "print full debugging-aid reports")
 	remote := flag.String("remote", "", "submit to a portendd instance at this base URL instead of analyzing in-process")
 	tenant := flag.String("tenant", "", "tenant identity sent to the portendd instance (-remote only)")
@@ -80,6 +82,24 @@ func main() {
 	}
 	if inputs != nil {
 		target = target.WithInputs(inputs...)
+	}
+
+	if *lint {
+		rep, err := portend.Lint(target)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			// The canonical byte-stable artifact (schema portend-sa/1), not
+			// a re-marshalling — identical bytes on every run.
+			os.Stdout.Write(rep.Artifact())
+		} else {
+			fmt.Print(rep.String())
+		}
+		if rep.HasErrors() {
+			os.Exit(1)
+		}
+		return
 	}
 
 	ctx := context.Background()

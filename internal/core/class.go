@@ -38,6 +38,7 @@ import (
 	"repro/internal/bytecode"
 	"repro/internal/expr"
 	"repro/internal/race"
+	"repro/internal/sa"
 	"repro/internal/solver"
 	"repro/internal/vm"
 )
@@ -178,6 +179,24 @@ type Options struct {
 	// that assertion and for ablation timing.
 	NoCache bool
 
+	// NoStaticPrune disables the static pre-analysis consumers: the
+	// multi-path worklist's dead-item prune (skipping exploration items
+	// whose remaining execution provably cannot reach the racy object
+	// class or any symbolic branch) and the detection pass's extra
+	// checkpoints at static race-candidate sites. Like the caches, the
+	// static consumers are verdict-neutral by construction — verdicts are
+	// byte-identical with pruning on or off, which the static determinism
+	// suite asserts — so the gate exists for that assertion and for
+	// ablation timing.
+	NoStaticPrune bool
+
+	// StaticFacts supplies a precomputed static-analysis artifact for the
+	// exact program under analysis (e.g. the server's admission-time facts
+	// cached on its tier). nil lets RunStream run the pass itself when
+	// static consumers are enabled. Facts decoded from JSON lack the
+	// per-pc consumer index and degrade to no pruning.
+	StaticFacts *sa.Facts
+
 	// Feature gates (Fig 7): ad-hoc synchronization detection, multi-path
 	// analysis, multi-schedule analysis, symbolic output comparison.
 	AdHocDetection bool
@@ -287,6 +306,17 @@ type Stats struct {
 	// checkpoint hit counters it depends on what earlier work memoized,
 	// so it may vary with pool width and cache warmth.
 	SiblingMemoHits int
+
+	// PrunedSchedules counts multi-path worklist items skipped by the
+	// static dead-item prune: pending exploration items none of whose
+	// live frames can (per internal/sa's reach facts) access the racy
+	// object class or reach a fork point with a possibly-symbolic
+	// operand. Such an item provably contributes no primary, no fork, and
+	// no queue growth, so skipping it never changes the verdict — only
+	// the work counted here. PathItemsRun counts the items that did run
+	// (the denominator for the pruning ratio).
+	PrunedSchedules int
+	PathItemsRun    int
 
 	// TruncatedPaths counts exploration the multi-path phase gave up on:
 	// forked siblings dropped at the queue cap plus worklist items

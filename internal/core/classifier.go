@@ -30,6 +30,12 @@ type Classifier struct {
 	symHits     int
 	sibMemoHits int // pending-fork re-runs skipped via the sibling memo
 
+	// prunedSchedules counts worklist items the static dead-item prune
+	// skipped; pathItemsRun counts items that executed. Both are only
+	// touched from the goroutine driving ClassifyCtx.
+	prunedSchedules int
+	pathItemsRun    int
+
 	// vmCounters aggregates interpreter fast-path tallies (fused
 	// superinstructions, interned constants) across every machine this
 	// classification creates, including the parallel alternate workers.
@@ -185,18 +191,21 @@ func (c *Classifier) ClassifyCtx(cctx context.Context, rep *race.Report, tr *tra
 type statsSnap struct {
 	queries, cacheHits, ckptHits, symHits, evictions int
 	sibMemoHits, resizes                             int
+	prunedSchedules, pathItemsRun                    int
 	fused, interned                                  int64
 }
 
 func (c *Classifier) snapStats() statsSnap {
 	s := statsSnap{
-		queries:     c.sol.Queries(),
-		cacheHits:   c.sol.CacheHits(),
-		ckptHits:    c.ckptHits,
-		symHits:     c.symHits,
-		sibMemoHits: c.sibMemoHits,
-		fused:       c.vmCounters.FusedOps.Load(),
-		interned:    c.vmCounters.InternedConsts.Load(),
+		queries:         c.sol.Queries(),
+		cacheHits:       c.sol.CacheHits(),
+		ckptHits:        c.ckptHits,
+		symHits:         c.symHits,
+		sibMemoHits:     c.sibMemoHits,
+		prunedSchedules: c.prunedSchedules,
+		pathItemsRun:    c.pathItemsRun,
+		fused:           c.vmCounters.FusedOps.Load(),
+		interned:        c.vmCounters.InternedConsts.Load(),
 	}
 	if c.sol.Cache != nil {
 		s.evictions = c.sol.Cache.Evictions()
@@ -211,6 +220,8 @@ func (c *Classifier) finishStats(v *Verdict, mp *mpResult, snap statsSnap, start
 	v.Stats.CheckpointHits = c.ckptHits - snap.ckptHits
 	v.Stats.SymCheckpointHits = c.symHits - snap.symHits
 	v.Stats.SiblingMemoHits = c.sibMemoHits - snap.sibMemoHits
+	v.Stats.PrunedSchedules = c.prunedSchedules - snap.prunedSchedules
+	v.Stats.PathItemsRun = c.pathItemsRun - snap.pathItemsRun
 	v.Stats.FusedOps = c.vmCounters.FusedOps.Load() - snap.fused
 	v.Stats.InternedConsts = c.vmCounters.InternedConsts.Load() - snap.interned
 	if c.sol.Cache != nil {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/bytecode"
 	"repro/internal/lang"
 	"repro/internal/race"
+	"repro/internal/sa"
 	"repro/internal/sched"
 	"repro/internal/trace"
 	"repro/internal/vm"
@@ -94,6 +95,15 @@ func RunStream(ctx context.Context, p *bytecode.Program, args, inputs []int64, o
 		} else {
 			inner.shared = newSharedCaches(inner)
 		}
+	}
+	// Static pre-analysis: run the internal/sa pass once per run (unless
+	// the caller supplied cached facts, e.g. the server's admission-time
+	// artifact) and thread the facts through detection checkpointing and
+	// every classifier's multi-path prune. Like the caches, the static
+	// consumers only shift work, never verdicts — the static determinism
+	// suite asserts byte-identical verdicts with NoStaticPrune on and off.
+	if !inner.NoStaticPrune && inner.StaticFacts == nil {
+		inner.StaticFacts = sa.Analyze(p)
 	}
 	det := race.DetectWith(ctx, p, args, inputs, budget, detectionConfig(inner, inner.shared))
 	res.Detection = det
@@ -226,7 +236,7 @@ func detectionConfig(opts Options, shared *sharedCaches) race.DetectConfig {
 	if every == 0 {
 		every = DefaultDetectCheckpointEvery
 	}
-	return race.DetectConfig{
+	cfg := race.DetectConfig{
 		Extra:         extra,
 		SnapshotEvery: every, // negative: cluster-point deposits only
 		Snapshot: func(st *vm.State, tr *trace.Trace, decisions int) {
@@ -235,6 +245,16 @@ func detectionConfig(opts Options, shared *sharedCaches) race.DetectConfig {
 			}
 		},
 	}
+	// Prioritize checkpoint placement near statically likely race pairs:
+	// one extra deposit right before the first execution of each static
+	// candidate site, so the classification of a race at that site resumes
+	// from a snapshot immediately upstream of it instead of the nearest
+	// geometric-cadence one. Snapshot parks never change what the machine
+	// executes, so this shifts replay time only.
+	if f := opts.StaticFacts; f != nil && !opts.NoStaticPrune {
+		cfg.HotSite = f.CandidateSite
+	}
+	return cfg
 }
 
 // ByClass groups the verdicts by class.

@@ -248,6 +248,22 @@ func (c *Classifier) collectPrimaries(rep *race.Report, tr *trace.Trace, eng *ex
 		it := work[0]
 		work = work[1:]
 
+		// Static dead-item prune: if no live frame of any thread can —
+		// per the static reach facts — access the racy object class or
+		// reach a fork point with a possibly-symbolic operand, running
+		// this item is provably inert: the racy-access breakpoint never
+		// fires (so it cannot hit the race or become a primary), the
+		// engine never forks (so the queue, the fork budget, and the
+		// branch count are untouched), and a non-race completion is
+		// discarded below without recording anything. Skipping it changes
+		// work counters only, never the verdict. The mainline is exempt —
+		// it carries the recorded schedule to the race by construction.
+		if !it.mainline && !it.raceHit && c.staticDead(it.st, space, obj) {
+			c.prunedSchedules++
+			continue
+		}
+		c.pathItemsRun++
+
 		// Sibling-outcome memoization: a resumed pending fork that a prior
 		// exploration already ran to completion would repeat that run here
 		// instruction for instruction — same state, same budget, and (when
@@ -415,6 +431,35 @@ func (c *Classifier) collectPrimaries(rep *race.Report, tr *trace.Trace, eng *ex
 		truncated += len(work)
 	}
 	return prims, truncated
+}
+
+// staticDead reports whether the static facts prove that no thread of st
+// can ever access the racy object class again nor reach a fork point with
+// a possibly-symbolic operand. Frame PCs are resume points (the caller's
+// PC already sits past its CALL), which is exactly the per-pc reach
+// granularity internal/sa computes; a frame parked at pc == len(code) has
+// an empty reach set. Answers degrade safely: no facts, an index-less
+// decoded artifact, or out-of-range coordinates all report "may".
+func (c *Classifier) staticDead(st *vm.State, space vm.Space, obj int64) bool {
+	f := c.Opts.StaticFacts
+	if f == nil || c.Opts.NoStaticPrune {
+		return false
+	}
+	for _, th := range st.Threads {
+		for _, fr := range th.Frames {
+			if f.FrameMayFork(fr.Fn, fr.PC) {
+				return false
+			}
+			if space == vm.SpaceGlobal {
+				if f.FrameMayTouchGlobal(fr.Fn, fr.PC, int(obj)) {
+					return false
+				}
+			} else if f.FrameMayTouchHeap(fr.Fn, fr.PC) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 func currentLine(st *vm.State) int32 {

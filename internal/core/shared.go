@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"sync"
 
 	"repro/internal/bytecode"
@@ -201,12 +202,19 @@ func (t *touchTrack) CloneObs() vm.Observer {
 	return n
 }
 
-// list renders the touched set as ckpt's wire form.
+// list renders the touched set as ckpt's wire form, sorted so the memo
+// entry is independent of map iteration order.
 func (t *touchTrack) list() []ckpt.TouchedObj {
 	out := make([]ckpt.TouchedObj, 0, len(t.touched))
 	for k := range t.touched {
 		out = append(out, ckpt.TouchedObj{Space: k.space, Obj: k.obj})
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Space != out[j].Space {
+			return out[i].Space < out[j].Space
+		}
+		return out[i].Obj < out[j].Obj
+	})
 	return out
 }
 

@@ -51,8 +51,18 @@ func sumMemoHits(res *Result) int {
 	return n
 }
 
+// memoOptions disables the static dead-item prune, which would otherwise
+// skip this program's bypass siblings before the memo is consulted (the
+// prune covers statically inert items; the memo additionally covers items
+// with reachable symbolic branches that ran without forking).
+func memoOptions() Options {
+	o := DefaultOptions()
+	o.NoStaticPrune = true
+	return o
+}
+
 func TestSiblingMemoFires(t *testing.T) {
-	res := classify(t, siblingSkipProg, DefaultOptions(), nil, []int64{2})
+	res := classify(t, siblingSkipProg, memoOptions(), nil, []int64{2})
 	if len(res.Verdicts) != 4 {
 		t.Fatalf("want 4 verdicts, got %d", len(res.Verdicts))
 	}
@@ -65,8 +75,8 @@ func TestSiblingMemoFires(t *testing.T) {
 // re-run changes no verdict: with caches off the memo machinery is inert,
 // and the rendered classes must match the cached run exactly.
 func TestSiblingMemoPreservesVerdicts(t *testing.T) {
-	warm := classify(t, siblingSkipProg, DefaultOptions(), nil, []int64{2})
-	coldOpts := DefaultOptions()
+	warm := classify(t, siblingSkipProg, memoOptions(), nil, []int64{2})
+	coldOpts := memoOptions()
 	coldOpts.NoCache = true
 	cold := classify(t, siblingSkipProg, coldOpts, nil, []int64{2})
 	if sumMemoHits(warm) == 0 {

@@ -1,0 +1,110 @@
+package sa
+
+import "repro/internal/bytecode"
+
+// funcCFG is the control-flow graph of one function at instruction
+// granularity: successor edges plus intraprocedural reachability from the
+// entry. CALL falls through to pc+1 (interprocedural effects are applied
+// by the analyses via callee summaries); RET has no successors.
+type funcCFG struct {
+	code  []bytecode.Instr
+	succs [][]int
+	reach []bool // reachable from pc 0 within this function
+}
+
+func buildCFG(f *bytecode.Func) *funcCFG {
+	n := len(f.Code)
+	c := &funcCFG{code: f.Code, succs: make([][]int, n), reach: make([]bool, n)}
+	for pc, in := range f.Code {
+		switch in.Op {
+		case bytecode.JMP:
+			c.succs[pc] = c.edge(int(in.A))
+		case bytecode.JZ:
+			c.succs[pc] = append(c.edge(pc+1), c.edge(int(in.A))...)
+		case bytecode.RET:
+			// no successors
+		default:
+			c.succs[pc] = c.edge(pc + 1)
+		}
+	}
+	// Entry reachability (pure CFG; the analyses additionally gate
+	// call fallthrough on the callee returning).
+	if n > 0 {
+		work := []int{0}
+		c.reach[0] = true
+		for len(work) > 0 {
+			pc := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, s := range c.succs[pc] {
+				if !c.reach[s] {
+					c.reach[s] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	return c
+}
+
+func (c *funcCFG) edge(pc int) []int {
+	if pc < 0 || pc >= len(c.code) {
+		return nil
+	}
+	return []int{pc}
+}
+
+// inLoop reports whether pc can reach itself — i.e. it sits on a CFG
+// cycle, so the instruction may execute more than once per activation.
+func (c *funcCFG) inLoop(pc int) bool {
+	seen := make([]bool, len(c.code))
+	work := append([]int(nil), c.succs[pc]...)
+	for len(work) > 0 {
+		q := work[len(work)-1]
+		work = work[:len(work)-1]
+		if q == pc {
+			return true
+		}
+		if seen[q] {
+			continue
+		}
+		seen[q] = true
+		work = append(work, c.succs[q]...)
+	}
+	return false
+}
+
+// bits is a simple growable bitset keyed by small non-negative ints.
+type bits []uint64
+
+func newBits(n int) bits { return make(bits, (n+63)/64) }
+
+func (b bits) set(i int) bool {
+	w, m := i/64, uint64(1)<<(i%64)
+	if w >= len(b) || b[w]&m != 0 {
+		return false
+	}
+	b[w] |= m
+	return true
+}
+
+func (b bits) has(i int) bool {
+	w := i / 64
+	return w < len(b) && b[w]&(uint64(1)<<(i%64)) != 0
+}
+
+// or merges o into b, reporting whether b changed.
+func (b bits) or(o bits) bool {
+	changed := false
+	for i := range o {
+		if i >= len(b) {
+			break
+		}
+		if n := b[i] | o[i]; n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (b bits) clone() bits { return append(bits(nil), b...) }

@@ -1,0 +1,97 @@
+package sa
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bytecode"
+)
+
+// Lint rules. Error-severity rules fire only where the analysis PROVES
+// the operation faults whenever it executes (may-held is an
+// over-approximation, so "mutex not in may-held" means "certainly not
+// held"; must-held is an under-approximation, so "mutex in must-held"
+// at a LOCK means a certain re-lock). Warnings flag structure that is
+// suspicious but survivable.
+const (
+	RuleDoubleLock      = "double-lock"         // error: LOCK of a certainly-held mutex
+	RuleUnlockUnheld    = "unlock-unheld"       // error: UNLOCK of a certainly-unheld mutex
+	RuleWaitUnheld      = "wait-without-mutex"  // error: WAIT with a certainly-unheld mutex
+	RuleLockLeak        = "lock-never-released" // warning: returns holding a self-acquired lock
+	RuleUnreachableSync = "unreachable-sync"    // warning: sync op no thread can reach
+)
+
+// lint derives the diagnostics from the finished lockset phase.
+func (a *analysis) lint() []Lint {
+	var out []Lint
+	add := func(rule, severity string, fn, pc int, line int32, format string, args ...any) {
+		out = append(out, Lint{
+			Rule: rule, Severity: severity,
+			Fn: a.p.Funcs[fn].Name, PC: pc, Line: int(line),
+			Msg: fmt.Sprintf(format, args...),
+		})
+	}
+	mutex := func(id int64) string {
+		if id >= 0 && int(id) < len(a.p.Mutexes) {
+			return a.p.Mutexes[id]
+		}
+		return fmt.Sprintf("m%d", id)
+	}
+	for fn := range a.p.Funcs {
+		code := a.p.Funcs[fn].Code
+		for pc, in := range code {
+			if in.Op.IsSyncOp() && (!a.entrySeen[fn] || !a.reached[fn][pc]) {
+				add(RuleUnreachableSync, SeverityWarning, fn, pc, in.Line,
+					"%s is unreachable: no thread can execute it", in.Op)
+				continue
+			}
+			if !a.entrySeen[fn] || !a.reached[fn][pc] || a.lockTop {
+				continue
+			}
+			switch in.Op {
+			case bytecode.LOCK:
+				if bit, ok := lockBit(in.A); ok && a.must[fn][pc]&bit != 0 {
+					add(RuleDoubleLock, SeverityError, fn, pc, in.Line,
+						"mutex %q is already held on every path here: re-lock always faults", mutex(in.A))
+				}
+			case bytecode.UNLOCK:
+				if bit, ok := lockBit(in.A); ok && a.may[fn][pc]&bit == 0 {
+					add(RuleUnlockUnheld, SeverityError, fn, pc, in.Line,
+						"mutex %q is never held here: unlock always faults", mutex(in.A))
+				}
+			case bytecode.WAIT:
+				if bit, ok := lockBit(int64(in.B)); ok && a.may[fn][pc]&bit == 0 {
+					add(RuleWaitUnheld, SeverityError, fn, pc, in.Line,
+						"wait requires mutex %q, which is never held here: always faults", mutex(int64(in.B)))
+				}
+			}
+		}
+		// A function whose exit summary certainly holds locks acquired
+		// within it (the summary's one-bits are entry-independent)
+		// leaks them to its caller — or to nobody, for a thread root.
+		if a.entrySeen[fn] && !a.lockTop && !a.recursive[fn] {
+			if s := a.summaries[fn]; s.returns && s.must.one != 0 {
+				names := a.lockNames(s.must.one)
+				add(RuleLockLeak, SeverityWarning, fn, len(code)-1, lastLine(code),
+					"returns holding mutex(es) %v acquired within it", names)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Fn != out[j].Fn {
+			return out[i].Fn < out[j].Fn
+		}
+		if out[i].PC != out[j].PC {
+			return out[i].PC < out[j].PC
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+func lastLine(code []bytecode.Instr) int32 {
+	if len(code) == 0 {
+		return 0
+	}
+	return code[len(code)-1].Line
+}

@@ -1,0 +1,355 @@
+package sa
+
+import "repro/internal/bytecode"
+
+// The lockset domain is a pair of 64-bit masks per program point: locks
+// certainly held (must, intersection over paths) and locks possibly held
+// (may, union over paths). Transfer functions for straight-line code are
+// gen/kill, so a whole function's entry→exit effect is expressible per
+// bit as one of {always-held, pass-through, never-held} — the tfn form
+// below — and those summaries compose and meet exactly. Programs with
+// more than 64 mutexes degrade to the sound top: must = ∅, may = all.
+
+// tfn is a per-bit transfer function f(x) = one | (x & id); bits in
+// neither mask map to 0. one and id are disjoint by construction.
+type tfn struct{ one, id uint64 }
+
+func idTfn() tfn { return tfn{0, ^uint64(0)} }
+
+func (t tfn) apply(x uint64) uint64 { return t.one | (x & t.id) }
+
+// compose returns g∘f: first f, then g.
+func compose(f, g tfn) tfn {
+	return tfn{one: g.one | (f.one & g.id), id: f.id & g.id}
+}
+
+// meetMust is the pointwise AND of two transfers (per bit: 1∧x=x, 0∧_=0).
+func meetMust(a, b tfn) tfn {
+	return tfn{one: a.one & b.one, id: (a.one & b.id) | (a.id & b.one) | (a.id & b.id)}
+}
+
+// joinMay is the pointwise OR of two transfers.
+func joinMay(a, b tfn) tfn {
+	one := a.one | b.one
+	return tfn{one: one, id: (a.id | b.id) &^ one}
+}
+
+// lockSum summarizes a function's entry→exit lockset effect.
+type lockSum struct {
+	must, may tfn
+	returns   bool // has a reachable RET (given callee return gating)
+}
+
+func lockBit(a int64) (uint64, bool) {
+	if a < 0 || a >= 64 {
+		return 0, false
+	}
+	return uint64(1) << uint(a), true
+}
+
+// locksets runs the lockset phase: CALL-graph recursion detection,
+// per-function summaries in callee-first order, then the interprocedural
+// entry-context fixpoint producing per-pc must/may/reached.
+func (a *analysis) locksets() {
+	n := len(a.p.Funcs)
+	a.lockTop = len(a.p.Mutexes) > 64
+	a.recursive = make([]bool, n)
+	a.summaries = make([]lockSum, n)
+	a.noReturn = make([]bool, n)
+	a.entryMust = make([]uint64, n)
+	a.entryMay = make([]uint64, n)
+	a.entrySeen = make([]bool, n)
+	a.must = make([][]uint64, n)
+	a.may = make([][]uint64, n)
+	a.reached = make([][]bool, n)
+	for f := 0; f < n; f++ {
+		sz := len(a.p.Funcs[f].Code)
+		a.must[f] = make([]uint64, sz)
+		a.may[f] = make([]uint64, sz)
+		a.reached[f] = make([]bool, sz)
+	}
+
+	a.findRecursion()
+	a.computeSummaries()
+	a.entryFixpoint()
+}
+
+// findRecursion marks functions on a CALL-edge cycle (SPAWN edges start a
+// fresh thread with an empty lockset, so they never carry lock state and
+// are not summary dependencies).
+func (a *analysis) findRecursion() {
+	n := len(a.p.Funcs)
+	callees := make([][]int, n)
+	for f := 0; f < n; f++ {
+		for _, in := range a.p.Funcs[f].Code {
+			if in.Op == bytecode.CALL {
+				if c := int(in.A); c >= 0 && c < n {
+					callees[f] = append(callees[f], c)
+				}
+			}
+		}
+	}
+	// Iterative DFS with colors; a back edge to a gray node marks every
+	// function on the stack cycle as recursive.
+	const white, gray, black = 0, 1, 2
+	color := make([]int, n)
+	var stack []int
+	onStack := make([]bool, n)
+	for root := 0; root < n; root++ {
+		if color[root] != white {
+			continue
+		}
+		type frame struct{ f, i int }
+		frames := []frame{{root, 0}}
+		color[root] = gray
+		stack = append(stack[:0], root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			fr := &frames[len(frames)-1]
+			if fr.i < len(callees[fr.f]) {
+				c := callees[fr.f][fr.i]
+				fr.i++
+				switch color[c] {
+				case white:
+					color[c] = gray
+					frames = append(frames, frame{c, 0})
+					stack = append(stack, c)
+					onStack[c] = true
+				case gray:
+					// cycle: everything from c to the stack top
+					for i := len(stack) - 1; i >= 0; i-- {
+						a.recursive[stack[i]] = true
+						if stack[i] == c {
+							break
+						}
+					}
+				}
+				continue
+			}
+			color[fr.f] = black
+			onStack[fr.f] = false
+			stack = stack[:len(stack)-1]
+			frames = frames[:len(frames)-1]
+		}
+	}
+}
+
+// computeSummaries fills a.summaries callee-first. Recursive functions
+// get the degraded sound summary (must: nothing known, may: anything,
+// assumed returning); everything else is exact gen/kill composition.
+func (a *analysis) computeSummaries() {
+	n := len(a.p.Funcs)
+	done := make([]bool, n)
+	var visit func(f int)
+	visit = func(f int) {
+		if done[f] {
+			return
+		}
+		done[f] = true
+		if a.recursive[f] {
+			a.summaries[f] = lockSum{must: tfn{0, 0}, may: tfn{^uint64(0), 0}, returns: true}
+			return
+		}
+		for _, in := range a.p.Funcs[f].Code {
+			if in.Op == bytecode.CALL {
+				if c := int(in.A); c >= 0 && c < n {
+					visit(c)
+				}
+			}
+		}
+		a.summaries[f] = a.summarize(f)
+		a.noReturn[f] = !a.summaries[f].returns
+	}
+	for f := 0; f < n; f++ {
+		visit(f)
+	}
+}
+
+// summarize computes one function's entry→exit transfer by propagating
+// symbolic transfers over its CFG.
+func (a *analysis) summarize(f int) lockSum {
+	cfg := a.cfgs[f]
+	sz := len(cfg.code)
+	if sz == 0 {
+		return lockSum{must: idTfn(), may: idTfn(), returns: true}
+	}
+	mustAt := make([]tfn, sz)
+	mayAt := make([]tfn, sz)
+	seen := make([]bool, sz)
+	mustAt[0], mayAt[0], seen[0] = idTfn(), idTfn(), true
+	work := []int{0}
+	var exit lockSum
+	push := func(pc int, m, y tfn) {
+		if !seen[pc] {
+			mustAt[pc], mayAt[pc], seen[pc] = m, y, true
+			work = append(work, pc)
+			return
+		}
+		nm, ny := meetMust(mustAt[pc], m), joinMay(mayAt[pc], y)
+		if nm != mustAt[pc] || ny != mayAt[pc] {
+			mustAt[pc], mayAt[pc] = nm, ny
+			work = append(work, pc)
+		}
+	}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		in := cfg.code[pc]
+		m, y := mustAt[pc], mayAt[pc]
+		switch in.Op {
+		case bytecode.LOCK:
+			if bit, ok := lockBit(in.A); ok {
+				g := tfn{one: bit, id: ^bit}
+				m, y = compose(m, g), compose(y, g)
+			}
+		case bytecode.UNLOCK:
+			if bit, ok := lockBit(in.A); ok {
+				g := tfn{one: 0, id: ^bit}
+				m, y = compose(m, g), compose(y, g)
+			}
+		case bytecode.CALL:
+			if c := int(in.A); c >= 0 && c < len(a.p.Funcs) {
+				s := a.summaries[c]
+				if !s.returns {
+					continue // fallthrough unreachable
+				}
+				m, y = compose(m, s.must), compose(y, s.may)
+			}
+		case bytecode.RET:
+			if !exit.returns {
+				exit = lockSum{must: m, may: y, returns: true}
+			} else {
+				exit.must, exit.may = meetMust(exit.must, m), joinMay(exit.may, y)
+			}
+			continue
+		}
+		for _, s := range cfg.succs[pc] {
+			push(s, m, y)
+		}
+	}
+	if !exit.returns {
+		return lockSum{must: tfn{0, 0}, may: tfn{0, 0}, returns: false}
+	}
+	return exit
+}
+
+// entryFixpoint propagates concrete entry locksets from the thread roots
+// down the call graph, computing per-pc must/may/reached. Function entry
+// contexts meet (AND) / join (OR) over all reached call sites; SPAWN
+// targets enter with the empty lockset (a fresh thread holds nothing).
+func (a *analysis) entryFixpoint() {
+	n := len(a.p.Funcs)
+	main := a.p.MainFunc
+	if main < 0 || main >= n {
+		return
+	}
+	inQ := make([]bool, n)
+	queue := []int{main}
+	a.entrySeen[main] = true
+	inQ[main] = true
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		inQ[f] = false
+		for _, c := range a.flowFn(f) {
+			if !inQ[c] {
+				inQ[c] = true
+				queue = append(queue, c)
+			}
+		}
+	}
+	if a.lockTop {
+		// Degrade to the sound top once reachability is known.
+		for f := 0; f < n; f++ {
+			for pc := range a.must[f] {
+				a.must[f][pc] = 0
+				a.may[f][pc] = ^uint64(0)
+			}
+		}
+	}
+}
+
+// flowFn recomputes one function's per-pc lockset states from its current
+// entry context, returning callees/spawnees whose entry context changed.
+func (a *analysis) flowFn(f int) (changed []int) {
+	cfg := a.cfgs[f]
+	sz := len(cfg.code)
+	if sz == 0 {
+		return nil
+	}
+	must := make([]uint64, sz)
+	may := make([]uint64, sz)
+	seen := make([]bool, sz)
+	must[0], may[0], seen[0] = a.entryMust[f], a.entryMay[f], true
+	work := []int{0}
+	push := func(pc int, m, y uint64) {
+		if !seen[pc] {
+			must[pc], may[pc], seen[pc] = m, y, true
+			work = append(work, pc)
+			return
+		}
+		nm, ny := must[pc]&m, may[pc]|y
+		if nm != must[pc] || ny != may[pc] {
+			must[pc], may[pc] = nm, ny
+			work = append(work, pc)
+		}
+	}
+	mark := func(c int, m, y uint64) {
+		if contribOK := c >= 0 && c < len(a.p.Funcs); contribOK {
+			if a.entryContribute(c, m, y) {
+				changed = append(changed, c)
+			}
+		}
+	}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		in := cfg.code[pc]
+		m, y := must[pc], may[pc]
+		switch in.Op {
+		case bytecode.LOCK:
+			if bit, ok := lockBit(in.A); ok {
+				m, y = m|bit, y|bit
+			}
+		case bytecode.UNLOCK:
+			if bit, ok := lockBit(in.A); ok {
+				m, y = m&^bit, y&^bit
+			}
+		case bytecode.SPAWN:
+			mark(int(in.A), 0, 0)
+		case bytecode.CALL:
+			c := int(in.A)
+			mark(c, m, y)
+			if c >= 0 && c < len(a.p.Funcs) {
+				s := a.summaries[c]
+				if !s.returns {
+					continue
+				}
+				m, y = s.must.apply(m), s.may.apply(y)
+			}
+		case bytecode.RET:
+			continue
+		}
+		for _, s := range cfg.succs[pc] {
+			push(s, m, y)
+		}
+	}
+	copy(a.must[f], must)
+	copy(a.may[f], may)
+	copy(a.reached[f], seen)
+	return changed
+}
+
+func (a *analysis) entryContribute(f int, must, may uint64) bool {
+	if !a.entrySeen[f] {
+		a.entrySeen[f] = true
+		a.entryMust[f], a.entryMay[f] = must, may
+		return true
+	}
+	nm, ny := a.entryMust[f]&must, a.entryMay[f]|may
+	if nm == a.entryMust[f] && ny == a.entryMay[f] {
+		return false
+	}
+	a.entryMust[f], a.entryMay[f] = nm, ny
+	return true
+}

@@ -1,0 +1,316 @@
+package sa
+
+import "repro/internal/bytecode"
+
+// The MHP phase derives a may-happen-in-parallel relation over program
+// points from the SPAWN structure. Thread roots are main plus every
+// reachable SPAWN target; each root carries a saturating instance count
+// (0, 1, or "many" = 2) — a SPAWN site inside a loop, or executed by a
+// multi-instance thread, makes its target many. rootsOf closes roots
+// over CALL edges (a SPAWN edge starts a *new* root, not an extension of
+// the current one), and postSpawn marks the points of a thread's life
+// after some SPAWN may have run — before its first spawn, the main
+// thread is provably alone, so nothing it does there can be parallel.
+//
+// Two points may happen in parallel when distinct overlap-capable root
+// instances (or two instances of one multi-instance root) can be
+// executing them. JOIN is deliberately ignored — treating joined threads
+// as still parallel only widens the relation, which is the sound
+// direction for everything built on it.
+
+const mainRoot = 0
+
+func (a *analysis) mhp() {
+	n := len(a.p.Funcs)
+	a.rootBit = make([]uint64, n)
+	a.rootCount = make([]int, n)
+	a.rootsOf = make([]uint64, n)
+	a.postSpawn = make([][]bool, n)
+	for f := 0; f < n; f++ {
+		a.postSpawn[f] = make([]bool, len(a.p.Funcs[f].Code))
+	}
+	main := a.p.MainFunc
+	if main < 0 || main >= n {
+		return
+	}
+
+	// Assign root bits: bit 0 is main; each reachable SPAWN target gets
+	// the next bit (in spawn-site order, for determinism). Bit 63
+	// saturates: every root from the 64th on shares it, and
+	// mayHappenInParallel treats that shared bit as multi-instance,
+	// which merges those roots conservatively.
+	a.rootBit[main] = 1 << mainRoot
+	nextBit := 1
+	spawnSites := a.spawnSites()
+	for _, s := range spawnSites {
+		if a.rootBit[s.callee] == 0 {
+			bit := 63
+			if nextBit < 63 {
+				bit = nextBit
+			}
+			a.rootBit[s.callee] = 1 << uint(bit)
+			nextBit++
+		}
+	}
+
+	// Saturating instance counts per root, recomputed from scratch each
+	// round (counts feed instancesExecuting feeds counts; both are
+	// monotone from zero, so the interleaved fixpoint converges).
+	a.rootCount[main] = 1
+	a.closeRoots()
+	for changed := true; changed; {
+		changed = false
+		counts := make([]int, n)
+		counts[main] = 1
+		for _, s := range spawnSites {
+			callers := a.instancesExecuting(s.fn)
+			if callers == 0 {
+				continue
+			}
+			add := callers
+			if s.inLoop {
+				add = 2
+			}
+			counts[s.callee] = min2(counts[s.callee] + add)
+		}
+		for f := 0; f < n; f++ {
+			if counts[f] != a.rootCount[f] {
+				a.rootCount[f] = counts[f]
+				changed = true
+			}
+		}
+		if a.closeRoots() {
+			changed = true
+		}
+	}
+
+	// postSpawn: forward interprocedural dataflow. Spawned roots start
+	// true (their parent is alive in parallel); main starts false.
+	entry := make([]int, n) // 0 unseen, 1 false, 2 true (monotone)
+	entry[main] = 1
+	for _, s := range spawnSites {
+		entry[s.callee] = 2
+	}
+	for changed := true; changed; {
+		changed = false
+		for f := 0; f < n; f++ {
+			if entry[f] == 0 || !a.entrySeen[f] {
+				continue
+			}
+			if a.postSpawnFlow(f, entry[f] == 2, entry) {
+				changed = true
+			}
+		}
+	}
+}
+
+type spawnSite struct {
+	fn, pc, callee int
+	inLoop         bool
+}
+
+// spawnSites lists reachable SPAWN instructions (deterministic order).
+func (a *analysis) spawnSites() []spawnSite {
+	var out []spawnSite
+	for f := range a.p.Funcs {
+		if !a.entrySeen[f] {
+			continue
+		}
+		cfg := a.cfgs[f]
+		for pc, in := range cfg.code {
+			if in.Op != bytecode.SPAWN || !a.reached[f][pc] {
+				continue
+			}
+			if c := int(in.A); c >= 0 && c < len(a.p.Funcs) {
+				out = append(out, spawnSite{fn: f, pc: pc, callee: c, inLoop: cfg.inLoop(pc)})
+			}
+		}
+	}
+	return out
+}
+
+// closeRoots recomputes rootsOf = root bits closed over CALL edges,
+// reporting changes.
+func (a *analysis) closeRoots() bool {
+	n := len(a.p.Funcs)
+	changed := false
+	for f := 0; f < n; f++ {
+		if a.rootBit[f] != 0 && a.rootCount[f] > 0 {
+			if a.rootsOf[f]&a.rootBit[f] == 0 {
+				a.rootsOf[f] |= a.rootBit[f]
+				changed = true
+			}
+		}
+	}
+	for again := true; again; {
+		again = false
+		for f := 0; f < n; f++ {
+			if a.rootsOf[f] == 0 {
+				continue
+			}
+			for pc, in := range a.cfgs[f].code {
+				if in.Op != bytecode.CALL || !a.reached[f][pc] {
+					continue
+				}
+				if c := int(in.A); c >= 0 && c < n {
+					if nv := a.rootsOf[c] | a.rootsOf[f]; nv != a.rootsOf[c] {
+						a.rootsOf[c] = nv
+						again = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// instancesExecuting returns the saturating number of thread instances
+// that may execute fn: the sum of instance counts of its roots.
+func (a *analysis) instancesExecuting(fn int) int {
+	total := 0
+	for f := range a.p.Funcs {
+		if a.rootBit[f] != 0 && a.rootsOf[fn]&a.rootBit[f] != 0 {
+			total = min2(total + a.rootCount[f])
+		}
+	}
+	return total
+}
+
+func min2(v int) int {
+	if v > 2 {
+		return 2
+	}
+	return v
+}
+
+// postSpawnFlow propagates the "a SPAWN may already have happened in
+// this thread" bit through one function, contributing callee entry
+// states; returns whether anything grew.
+func (a *analysis) postSpawnFlow(f int, entryTrue bool, entry []int) bool {
+	cfg := a.cfgs[f]
+	sz := len(cfg.code)
+	if sz == 0 {
+		return false
+	}
+	changed := false
+	val := make([]bool, sz)
+	seen := make([]bool, sz)
+	val[0], seen[0] = entryTrue, true
+	work := []int{0}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		in := cfg.code[pc]
+		v := val[pc]
+		switch in.Op {
+		case bytecode.SPAWN:
+			v = true
+		case bytecode.CALL:
+			if c := int(in.A); c >= 0 && c < len(a.p.Funcs) {
+				want := 1
+				if v {
+					want = 2
+				}
+				if want > entry[c] {
+					entry[c] = want
+					changed = true
+				}
+				// A callee that spawns makes the fallthrough postSpawn.
+				if a.summaryMaySpawn(c) {
+					v = true
+				}
+				if !a.summaries[c].returns {
+					continue
+				}
+			}
+		case bytecode.RET:
+			continue
+		}
+		for _, s := range cfg.succs[pc] {
+			if !seen[s] {
+				seen[s], val[s] = true, v
+				work = append(work, s)
+			} else if v && !val[s] {
+				val[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	for pc := 0; pc < sz; pc++ {
+		if val[pc] && !a.postSpawn[f][pc] {
+			a.postSpawn[f][pc] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// summaryMaySpawn reports whether calling fn may execute a SPAWN
+// (directly or transitively).
+func (a *analysis) summaryMaySpawn(fn int) bool {
+	if a.maySpawn == nil {
+		n := len(a.p.Funcs)
+		a.maySpawn = make([]bool, n)
+		for changed := true; changed; {
+			changed = false
+			for f := 0; f < n; f++ {
+				if a.maySpawn[f] {
+					continue
+				}
+				for _, in := range a.p.Funcs[f].Code {
+					hit := in.Op == bytecode.SPAWN
+					if in.Op == bytecode.CALL {
+						if c := int(in.A); c >= 0 && c < n {
+							hit = a.maySpawn[c]
+						}
+					}
+					if hit {
+						a.maySpawn[f] = true
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+	return a.maySpawn[fn]
+}
+
+// rootsAt returns the overlap-capable root set for a program point: the
+// fn's roots, with main filtered out before the thread's first possible
+// SPAWN (nothing else exists yet, so main code there overlaps nothing).
+func (a *analysis) rootsAt(f, pc int) uint64 {
+	r := a.rootsOf[f]
+	if r&(1<<mainRoot) != 0 && !a.postSpawn[f][pc] {
+		r &^= 1 << mainRoot
+	}
+	return r
+}
+
+// mayHappenInParallel reports whether two program points can execute
+// simultaneously in different threads.
+func (a *analysis) mayHappenInParallel(f1, pc1, f2, pc2 int) bool {
+	r1, r2 := a.rootsAt(f1, pc1), a.rootsAt(f2, pc2)
+	if r1 == 0 || r2 == 0 {
+		return false
+	}
+	u := r1 | r2
+	if u&(u-1) != 0 { // ≥2 distinct roots: pick one from each side
+		return true
+	}
+	// Single shared root: needs two live instances of it. The count is
+	// saturating, and a capped bit (63) may alias several roots — the
+	// alias case is covered because any aliased root got count from its
+	// own spawn sites summed into... conservatively treat bit 63 as
+	// multi-instance.
+	if u == 1<<63 {
+		return true
+	}
+	for f := range a.p.Funcs {
+		if a.rootBit[f] == u {
+			return a.rootCount[f] >= 2
+		}
+	}
+	return u != 1<<mainRoot // unknown root: stay conservative
+}

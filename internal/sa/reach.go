@@ -1,0 +1,106 @@
+package sa
+
+import "repro/internal/bytecode"
+
+// The reach phase answers, for every (function, pc): from here, which
+// shared-object classes can this activation (or anything it calls or
+// spawns, transitively) still touch, and can it still reach a fork point
+// with a possibly-symbolic operand? Reach is a may-analysis and
+// over-approximates — CALL fallthrough is always included even for
+// non-returning callees, which only widens the sets.
+type reachSet struct {
+	globals bits // global ids that may still be accessed
+	heap    bool // a heap access (LOADH/STOREH/FREE) may still happen
+	fork    bool // a tainted fork point (JZ/ASSERT/DIV/MOD) may still run
+}
+
+func (r *reachSet) union(o reachSet) bool {
+	changed := r.globals.or(o.globals)
+	if o.heap && !r.heap {
+		r.heap = true
+		changed = true
+	}
+	if o.fork && !r.fork {
+		r.fork = true
+		changed = true
+	}
+	return changed
+}
+
+// effect returns the direct contribution of one instruction.
+func (a *analysis) effect(f, pc int) reachSet {
+	in := a.cfgs[f].code[pc]
+	r := reachSet{globals: newBits(len(a.p.Globals))}
+	switch in.Op {
+	case bytecode.LOADG, bytecode.STOREG, bytecode.LOADE, bytecode.STOREE:
+		r.globals.set(int(in.A))
+	case bytecode.LOADH, bytecode.STOREH, bytecode.FREE:
+		r.heap = true
+	case bytecode.JZ, bytecode.ASSERT, bytecode.DIV, bytecode.MOD:
+		r.fork = a.forkTaint[f][pc]
+	}
+	return r
+}
+
+func (a *analysis) reachability() {
+	n := len(a.p.Funcs)
+	ng := len(a.p.Globals)
+
+	// Phase 1: fullReach[f] — everything reachable from f's entry,
+	// closed over CALL and SPAWN edges. Whole-program fixpoint (sound
+	// under recursion: the union only grows).
+	a.fullReach = make([]reachSet, n)
+	for f := 0; f < n; f++ {
+		a.fullReach[f] = reachSet{globals: newBits(ng)}
+	}
+	for changed := true; changed; {
+		changed = false
+		for f := 0; f < n; f++ {
+			cfg := a.cfgs[f]
+			for pc := range cfg.code {
+				if !cfg.reach[pc] {
+					continue
+				}
+				if a.fullReach[f].union(a.effect(f, pc)) {
+					changed = true
+				}
+				in := cfg.code[pc]
+				if in.Op == bytecode.CALL || in.Op == bytecode.SPAWN {
+					if c := int(in.A); c >= 0 && c < n {
+						if a.fullReach[f].union(a.fullReach[c]) {
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Phase 2: per-pc reach within each function, backward accumulation
+	// over the CFG with callee closures folded in at call/spawn sites.
+	a.pcReach = make([][]reachSet, n)
+	for f := 0; f < n; f++ {
+		cfg := a.cfgs[f]
+		sz := len(cfg.code)
+		a.pcReach[f] = make([]reachSet, sz)
+		for pc := 0; pc < sz; pc++ {
+			a.pcReach[f][pc] = a.effect(f, pc)
+			in := cfg.code[pc]
+			if in.Op == bytecode.CALL || in.Op == bytecode.SPAWN {
+				if c := int(in.A); c >= 0 && c < n {
+					a.pcReach[f][pc].union(a.fullReach[c])
+				}
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for pc := sz - 1; pc >= 0; pc-- {
+				for _, s := range cfg.succs[pc] {
+					if a.pcReach[f][pc].union(a.pcReach[f][s]) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}

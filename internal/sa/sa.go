@@ -1,0 +1,78 @@
+// Package sa is the static pre-analysis over compiled PIL bytecode: the
+// phase the paper's dynamic pipeline lacks. It builds per-function CFGs
+// with reachability, runs a forward interprocedural lockset analysis over
+// LOCK/UNLOCK (the superinstruction fusion overlay never changes the
+// underlying instruction stream, so analyzing Func.Code covers fused
+// sequences too), derives a may-happen-in-parallel relation from the
+// SPAWN/JOIN structure, tracks which values may be symbolic (INPUT/ARG
+// taint), and performs a shared-object escape analysis — then emits a
+// canonical, byte-stable Facts artifact: static race-pair candidates with
+// their locksets, statically race-free objects, and lint diagnostics.
+//
+// Every approximation leans one fixed direction so the dynamic engine can
+// trust negative answers:
+//
+//   - may-sets (may-held locks, taint, reach, MHP) over-approximate;
+//   - must-sets (must-held locks) under-approximate.
+//
+// Hence "no candidate pair for this object" implies no execution exhibits
+// a race on it, and "no reachable symbolic branch from this frame"
+// implies the symbolic explorer cannot fork there. Those are exactly the
+// guarantees internal/core's verdict-preserving pruning and the server's
+// admission fast path rely on.
+package sa
+
+import "repro/internal/bytecode"
+
+// analysis carries the whole-program state threaded through the phases.
+type analysis struct {
+	p    *bytecode.Program
+	cfgs []*funcCFG
+
+	// lockset phase (lockset.go)
+	lockTop   bool      // >64 mutexes: lockset lattice degraded to top
+	summaries []lockSum // per function: entry→exit transfer
+	noReturn  []bool    // no CFG-reachable RET (never returns)
+	recursive []bool    // on a CALL-graph cycle
+	entryMust []uint64
+	entryMay  []uint64
+	entrySeen []bool     // function has a reached entry context
+	must      [][]uint64 // per fn, per pc: locks certainly held before pc
+	may       [][]uint64 // per fn, per pc: locks possibly held before pc
+	reached   [][]bool   // per fn, per pc: interprocedurally reachable
+
+	// taint phase (taint.go)
+	gTaint     bits     // globals that may hold symbolic values
+	heapTaint  bool     // any heap cell may hold a symbolic value
+	localTaint [][]bool // per fn: locals that may be symbolic
+	retTaint   []bool   // per fn: return value may be symbolic
+	saturated  []bool   // per fn: stack tracking failed, everything tainted
+	forkTaint  [][]bool // per fn, per pc: fork op with possibly-symbolic operand
+
+	// reach phase (reach.go)
+	fullReach []reachSet   // per fn: reach from function entry
+	pcReach   [][]reachSet // per fn, per pc: reach from pc (call/spawn closure)
+
+	// mhp phase (mhp.go)
+	rootBit   []uint64 // per fn: root bit when fn is a thread root, else 0
+	rootCount []int    // per fn: saturating thread-instance count (0, 1, 2=many)
+	rootsOf   []uint64 // per fn: roots whose call closure executes fn
+	postSpawn [][]bool // per fn, per pc: a SPAWN may precede this point
+	maySpawn  []bool   // per fn: calling fn may execute a SPAWN (lazy)
+}
+
+// Analyze runs the full static pass over a compiled program and returns
+// its facts. The pass is deterministic: identical programs yield
+// byte-identical Facts.Encode output.
+func Analyze(p *bytecode.Program) *Facts {
+	a := &analysis{p: p}
+	a.cfgs = make([]*funcCFG, len(p.Funcs))
+	for i := range p.Funcs {
+		a.cfgs[i] = buildCFG(&p.Funcs[i])
+	}
+	a.locksets()
+	a.taint()
+	a.reachability()
+	a.mhp()
+	return a.facts()
+}

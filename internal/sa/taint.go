@@ -1,0 +1,252 @@
+package sa
+
+import "repro/internal/bytecode"
+
+// The taint phase computes which values MAY be symbolic at runtime:
+// everything INPUT and ARG produce is tainted (whether the engine marks
+// them symbolic is an option; assuming so over-approximates), and taint
+// flows through the operand stack, locals, globals, the heap, and
+// call/return edges. Its product is forkTaint: the fork-point
+// instructions (JZ, ASSERT, DIV, MOD) whose deciding operand may be
+// symbolic. An untainted fork point is certainly concrete at runtime, so
+// the symbolic explorer can never fork there — the fact the
+// verdict-preserving prune in internal/core relies on.
+
+// stackEffect returns how many operands in pops and pushes.
+func stackEffect(p *bytecode.Program, in bytecode.Instr) (pops, pushes int) {
+	switch in.Op {
+	case bytecode.PUSH, bytecode.LOADL, bytecode.LOADG, bytecode.INPUT:
+		return 0, 1
+	case bytecode.POP, bytecode.STOREL, bytecode.STOREG, bytecode.FREE,
+		bytecode.JZ, bytecode.RET, bytecode.JOIN, bytecode.SLEEP, bytecode.ASSERT:
+		return 1, 0
+	case bytecode.DUP:
+		return 1, 2
+	case bytecode.LOADE, bytecode.ALLOC, bytecode.ARG,
+		bytecode.NEG, bytecode.BNOT, bytecode.LNOT, bytecode.NEZ:
+		return 1, 1
+	case bytecode.STOREE:
+		return 2, 0
+	case bytecode.LOADH:
+		return 2, 1
+	case bytecode.STOREH:
+		return 3, 0
+	case bytecode.ADD, bytecode.SUB, bytecode.MUL, bytecode.DIV, bytecode.MOD,
+		bytecode.BAND, bytecode.BOR, bytecode.BXOR, bytecode.SHL, bytecode.SHR,
+		bytecode.EQ, bytecode.NE, bytecode.LT, bytecode.LE, bytecode.GT, bytecode.GE:
+		return 2, 1
+	case bytecode.CALL, bytecode.SPAWN:
+		return int(in.B), 1
+	case bytecode.PRINT:
+		n := 0
+		if int(in.A) >= 0 && int(in.A) < len(p.Prints) {
+			for _, part := range p.Prints[in.A] {
+				if part.IsExpr {
+					n++
+				}
+			}
+		}
+		return n, 0
+	}
+	return 0, 0
+}
+
+func (a *analysis) taint() {
+	n := len(a.p.Funcs)
+	a.gTaint = newBits(len(a.p.Globals))
+	a.localTaint = make([][]bool, n)
+	a.retTaint = make([]bool, n)
+	a.saturated = make([]bool, n)
+	a.forkTaint = make([][]bool, n)
+	for f := 0; f < n; f++ {
+		a.localTaint[f] = make([]bool, a.p.Funcs[f].NLocals)
+		a.forkTaint[f] = make([]bool, len(a.p.Funcs[f].Code))
+	}
+	for changed := true; changed; {
+		changed = false
+		for f := 0; f < n; f++ {
+			if a.entrySeen[f] && a.taintFn(f) {
+				changed = true
+			}
+		}
+	}
+}
+
+func (a *analysis) setLocal(f, i int, t bool) bool {
+	if !t || i < 0 || i >= len(a.localTaint[f]) || a.localTaint[f][i] {
+		return false
+	}
+	a.localTaint[f][i] = true
+	return true
+}
+
+func (a *analysis) setFork(f, pc int, t bool) bool {
+	if !t || a.forkTaint[f][pc] {
+		return false
+	}
+	a.forkTaint[f][pc] = true
+	return true
+}
+
+// taintFn propagates taint through one function's operand stack,
+// reporting whether any whole-program taint artifact changed. A stack
+// imbalance (which compiled code never produces; this is defensive)
+// saturates the function: every write and fork point becomes tainted.
+func (a *analysis) taintFn(f int) bool {
+	if a.saturated[f] {
+		return false
+	}
+	cfg := a.cfgs[f]
+	sz := len(cfg.code)
+	if sz == 0 {
+		return false
+	}
+	changed := false
+	stacks := make([][]bool, sz)
+	seen := make([]bool, sz)
+	seen[0] = true
+	stacks[0] = []bool{}
+	work := []int{0}
+	saturate := func() bool {
+		a.saturated[f] = true
+		for pc, in := range cfg.code {
+			switch in.Op {
+			case bytecode.STOREG, bytecode.STOREE:
+				if a.gTaint.set(int(in.A)) {
+					changed = true
+				}
+			case bytecode.STOREH:
+				if !a.heapTaint {
+					a.heapTaint = true
+					changed = true
+				}
+			case bytecode.STOREL:
+				if a.setLocal(f, int(in.A), true) {
+					changed = true
+				}
+			case bytecode.CALL, bytecode.SPAWN:
+				if c := int(in.A); c >= 0 && c < len(a.p.Funcs) {
+					for j := 0; j < a.p.Funcs[c].NParams; j++ {
+						if a.setLocal(c, j, true) {
+							changed = true
+						}
+					}
+				}
+			case bytecode.RET:
+				if !a.retTaint[f] {
+					a.retTaint[f] = true
+					changed = true
+				}
+			case bytecode.JZ, bytecode.ASSERT, bytecode.DIV, bytecode.MOD:
+				if a.setFork(f, pc, true) {
+					changed = true
+				}
+			}
+		}
+		return true
+	}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		in := cfg.code[pc]
+		pops, _ := stackEffect(a.p, in)
+		st := stacks[pc]
+		if pops > len(st) {
+			saturate()
+			return changed
+		}
+		top := func(i int) bool { return st[len(st)-1-i] } // 0 = top
+		// Fork-point taint reads the deciding operand before popping:
+		// JZ/ASSERT condition and DIV/MOD divisor all sit on top.
+		switch in.Op {
+		case bytecode.JZ, bytecode.ASSERT, bytecode.DIV, bytecode.MOD:
+			if a.setFork(f, pc, top(0)) {
+				changed = true
+			}
+		}
+		next := append([]bool(nil), st[:len(st)-pops]...)
+		switch in.Op {
+		case bytecode.PUSH:
+			next = append(next, false)
+		case bytecode.DUP:
+			next = append(next, top(0), top(0))
+		case bytecode.LOADL:
+			next = append(next, int(in.A) >= 0 && int(in.A) < len(a.localTaint[f]) && a.localTaint[f][in.A])
+		case bytecode.STOREL:
+			if a.setLocal(f, int(in.A), top(0)) {
+				changed = true
+			}
+		case bytecode.LOADG:
+			next = append(next, a.gTaint.has(int(in.A)))
+		case bytecode.STOREG:
+			if top(0) && a.gTaint.set(int(in.A)) {
+				changed = true
+			}
+		case bytecode.LOADE:
+			next = append(next, a.gTaint.has(int(in.A)) || top(0))
+		case bytecode.STOREE:
+			if top(0) && a.gTaint.set(int(in.A)) {
+				changed = true
+			}
+		case bytecode.ALLOC:
+			next = append(next, false)
+		case bytecode.LOADH:
+			next = append(next, a.heapTaint || top(0) || top(1))
+		case bytecode.STOREH:
+			if top(0) && !a.heapTaint {
+				a.heapTaint = true
+				changed = true
+			}
+		case bytecode.ADD, bytecode.SUB, bytecode.MUL, bytecode.DIV, bytecode.MOD,
+			bytecode.BAND, bytecode.BOR, bytecode.BXOR, bytecode.SHL, bytecode.SHR,
+			bytecode.EQ, bytecode.NE, bytecode.LT, bytecode.LE, bytecode.GT, bytecode.GE:
+			next = append(next, top(0) || top(1))
+		case bytecode.NEG, bytecode.BNOT, bytecode.LNOT, bytecode.NEZ:
+			next = append(next, top(0))
+		case bytecode.INPUT, bytecode.ARG:
+			next = append(next, true)
+		case bytecode.CALL, bytecode.SPAWN:
+			c := int(in.A)
+			if c >= 0 && c < len(a.p.Funcs) {
+				for j := 0; j < pops; j++ {
+					if a.setLocal(c, j, st[len(st)-pops+j]) {
+						changed = true
+					}
+				}
+			}
+			ret := false
+			if in.Op == bytecode.CALL && c >= 0 && c < len(a.p.Funcs) {
+				ret = a.retTaint[c]
+			}
+			next = append(next, ret)
+		case bytecode.RET:
+			if top(0) && !a.retTaint[f] {
+				a.retTaint[f] = true
+				changed = true
+			}
+		}
+		for _, s := range cfg.succs[pc] {
+			if !seen[s] {
+				seen[s] = true
+				stacks[s] = append([]bool(nil), next...)
+				work = append(work, s)
+				continue
+			}
+			if len(stacks[s]) != len(next) {
+				saturate()
+				return changed
+			}
+			grew := false
+			for i, t := range next {
+				if t && !stacks[s][i] {
+					stacks[s][i] = true
+					grew = true
+				}
+			}
+			if grew {
+				work = append(work, s)
+			}
+		}
+	}
+	return changed
+}

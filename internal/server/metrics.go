@@ -17,6 +17,10 @@ type metrics struct {
 	completed atomic.Int64 // analyses that ran to a terminal event
 	badReqs   atomic.Int64 // rejected before admission (400)
 	cancelled atomic.Int64 // runs ended by client disconnect/cancel
+
+	lintRejections  atomic.Int64 // rejected at admission by static lint (422)
+	staticClean     atomic.Int64 // statically race-free fast-path answers
+	prunedSchedules atomic.Int64 // worklist items the static prune skipped
 }
 
 // handleMetrics renders the Prometheus text exposition format
@@ -39,6 +43,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		s.metrics.badReqs.Load())
 	g("portend_requests_cancelled_total", "Analyses ended early by client disconnect or cancel.", "counter",
 		s.metrics.cancelled.Load())
+	g("portend_lint_rejections_total", "Submissions rejected at admission by an error-severity static lint (HTTP 422).", "counter",
+		s.metrics.lintRejections.Load())
+	g("portend_static_clean_fastpath_total", "Statically race-free submissions answered without taking an analysis slot.", "counter",
+		s.metrics.staticClean.Load())
+	g("portend_pruned_schedules_total", "Multi-path worklist items skipped by the static dead-item prune.", "counter",
+		s.metrics.prunedSchedules.Load())
 	g("portend_requests_active", "Analyses holding a slot right now.", "gauge",
 		s.dispatch.active.Load())
 	g("portend_shed_total", "Requests shed with HTTP 429 at the hard queue bound.", "counter",

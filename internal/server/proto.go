@@ -50,6 +50,13 @@ type RequestOptions struct {
 	RunBudget      int64   `json:"runBudget,omitempty"`
 	EnforceBudget  int64   `json:"enforceBudget,omitempty"`
 	Seed           *uint64 `json:"seed,omitempty"`
+
+	// NoStaticPrune disables every static-analysis consumer for this
+	// request: the admission lint rejection (422), the statically-clean
+	// fast path, and the engine's verdict-preserving schedule prune. The
+	// verdict stream is byte-identical either way; the flag exists for
+	// ablation and for forcing a full dynamic run.
+	NoStaticPrune bool `json:"noStaticPrune,omitempty"`
 }
 
 // Validate rejects requests that name no target or both targets.
@@ -151,6 +158,16 @@ type DoneInfo struct {
 	WarmStart bool     `json:"warmStart"`
 	Degraded  bool     `json:"degraded,omitempty"`
 	Tier      TierInfo `json:"tier"`
+
+	// StaticClean marks a fast-path answer: the static pre-analysis
+	// proved the program race-free (no candidate pair survives its
+	// lockset/may-happen-in-parallel tests), so no dynamic run can detect
+	// a race and the server answered without taking an analysis slot.
+	StaticClean bool `json:"staticClean,omitempty"`
+
+	// PrunedSchedules sums the exploration worklist items the static
+	// prune skipped across this run's verdicts.
+	PrunedSchedules int `json:"prunedSchedules,omitempty"`
 }
 
 // TierInfo is the wire form of a cache tier's population and traffic.
@@ -167,12 +184,27 @@ type TierInfo struct {
 	SolverResizes   int   `json:"solverResizes"`
 }
 
+// LintIssue is one static diagnostic attached to a 422 rejection.
+type LintIssue struct {
+	Rule     string `json:"rule"`
+	Severity string `json:"severity"`
+	Fn       string `json:"fn"`
+	Line     int    `json:"line"`
+	Msg      string `json:"msg"`
+}
+
 // ErrorBody is the JSON body of non-streaming error responses (400
-// malformed request, 429 shed). Clients distinguish shedding by the
-// Overloaded flag rather than parsing the message.
+// malformed request, 422 lint-rejected, 429 shed). Clients distinguish
+// shedding by the Overloaded flag rather than parsing the message.
 type ErrorBody struct {
 	Error      string `json:"error"`
 	Overloaded bool   `json:"overloaded,omitempty"`
 	Tenant     string `json:"tenant,omitempty"`
 	QueueDepth int    `json:"queueDepth,omitempty"`
+
+	// Lint carries the error-severity static findings behind a 422: sync
+	// operations the static pass proves fault on every execution
+	// (double-lock, unlock of an unheld mutex, wait without its mutex).
+	// Running such a program would only reproduce the fault dynamically.
+	Lint []LintIssue `json:"lint,omitempty"`
 }

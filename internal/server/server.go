@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/sa"
 	"repro/portend"
 )
 
@@ -132,6 +133,56 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 
 	ctx := r.Context()
+	opts := s.optionsFor(&req)
+	target := req.Target()
+
+	// Static admission (before taking a slot): fetch the submission's
+	// static-analysis facts from its tier — computed once per tier, a
+	// pure function of the program — and short-circuit the two cases a
+	// dynamic run cannot improve on. A program with an error-severity
+	// lint faults on every execution of the flagged site: reject it with
+	// the diagnostics instead of burning a slot reproducing the fault. A
+	// statically race-free program cannot yield a single race report:
+	// answer the empty verdict stream immediately. Target-resolution
+	// failures leave facts nil and fall through so the dynamic path
+	// reports them exactly as before.
+	if !opts.NoStaticPrune {
+		tier, _ := s.tiers.get(keyFor(&req, opts))
+		facts := tier.StaticFacts(func() *sa.Facts {
+			lr, err := portend.Lint(target)
+			if err != nil {
+				return nil
+			}
+			return lr.Facts()
+		})
+		if facts != nil {
+			if bad := facts.ErrorLints(); len(bad) > 0 {
+				s.metrics.lintRejections.Add(1)
+				body := ErrorBody{Error: "static analysis: program faults on every execution of the flagged synchronization"}
+				for _, l := range bad {
+					body.Lint = append(body.Lint, LintIssue{
+						Rule: l.Rule, Severity: l.Severity, Fn: l.Fn, Line: l.Line, Msg: l.Msg,
+					})
+				}
+				writeError(w, http.StatusUnprocessableEntity, body)
+				return
+			}
+			if facts.RaceFree {
+				s.metrics.requests.Add(1)
+				s.metrics.staticClean.Add(1)
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				w.WriteHeader(http.StatusOK)
+				_ = json.NewEncoder(w).Encode(Event{Type: EventDone, Done: &DoneInfo{
+					Target:      target.Name(),
+					StaticClean: true,
+				}})
+				s.metrics.completed.Add(1)
+				return
+			}
+			opts.StaticFacts = facts
+		}
+	}
+
 	release, degraded, err := s.dispatch.admit(ctx, tenant)
 	if err != nil {
 		var oe *overloadError
@@ -151,7 +202,6 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	s.metrics.requests.Add(1)
 
-	opts := s.optionsFor(&req)
 	var deg *DegradedInfo
 	if degraded {
 		opts = degradeOptions(opts)
@@ -188,7 +238,6 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 
 	a := portend.New(portend.WithEngineOptions(opts))
-	target := req.Target()
 	start := time.Now()
 	done := DoneInfo{Target: target.Name(), Degraded: degraded, WarmStart: before.Warm()}
 	terminalErr := false
@@ -216,6 +265,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		done.Verdicts++
+		if n := v.Stats.PrunedSchedules; n > 0 {
+			done.PrunedSchedules += n
+			s.metrics.prunedSchedules.Add(int64(n))
+		}
 		ev := Event{Type: EventVerdict, Verdict: raw, Summary: v.String()}
 		if req.Verbose {
 			ev.Report = v.DebugReport()
@@ -268,6 +321,7 @@ func (s *Server) optionsFor(req *Request) core.Options {
 		if ro.Seed != nil {
 			opts.Seed, opts.SeedSet = *ro.Seed, true
 		}
+		opts.NoStaticPrune = ro.NoStaticPrune
 	}
 	return opts
 }

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// faultySource trips the static lint pass with certain-fault findings:
+// bad() unlocks a mutex no path has locked and then double-locks
+// another. Every execution of main faults, so admission rejects it.
+const faultySource = `var g = 0
+mutex m
+mutex held
+fn bad() {
+	unlock(m)
+	lock(held)
+	lock(held)
+}
+fn main() {
+	bad()
+	print("done")
+}`
+
+// cleanSource is fully lock-protected: the static pass proves every
+// shared-access pair ordered or mutually excluded, so the server can
+// answer race-free without a dynamic run.
+const cleanSource = `var counter = 0
+mutex m
+fn worker() {
+	lock(m)
+	counter = counter + 1
+	unlock(m)
+}
+fn main() {
+	let a = spawn worker()
+	let b = spawn worker()
+	lock(m)
+	counter = counter + 10
+	let snap = counter
+	unlock(m)
+	join(a)
+	join(b)
+	print("c=", snap)
+}`
+
+func postAnalyze(t *testing.T, base string, req Request) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal request: %v", err)
+	}
+	resp, err := http.Post(base+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	return resp
+}
+
+func scrapeMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("get metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read metrics: %v", err)
+	}
+	return string(b)
+}
+
+// TestStaticAdmission pins the service's static front door on one
+// server instance so the /metrics counters can be asserted exactly:
+// a certain-fault program is rejected with 422 and its lint findings;
+// a statically race-free program is answered with a staticClean done
+// event without occupying an analysis slot; and noStaticPrune forces
+// the full dynamic path for both.
+func TestStaticAdmission(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := &Client{Base: ts.URL}
+
+	t.Run("lint-rejection-422", func(t *testing.T) {
+		resp := postAnalyze(t, ts.URL, Request{Source: faultySource, Name: "faulty"})
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Fatalf("status = %d, want 422", resp.StatusCode)
+		}
+		var eb ErrorBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+			t.Fatalf("decode body: %v", err)
+		}
+		if len(eb.Lint) == 0 {
+			t.Fatalf("422 body carries no lint findings: %+v", eb)
+		}
+		rules := map[string]bool{}
+		for _, l := range eb.Lint {
+			if l.Severity != "error" {
+				t.Errorf("non-error severity %q on 422 finding %+v", l.Severity, l)
+			}
+			rules[l.Rule] = true
+		}
+		if !rules["unlock-unheld"] || !rules["double-lock"] {
+			t.Errorf("expected unlock-unheld and double-lock findings, got %+v", eb.Lint)
+		}
+	})
+
+	t.Run("static-clean-fastpath", func(t *testing.T) {
+		var events int
+		done, err := c.Analyze(context.Background(), Request{Source: cleanSource, Name: "clean"},
+			func(Event) error { events++; return nil })
+		if err != nil {
+			t.Fatalf("analyze: %v", err)
+		}
+		if events != 0 {
+			t.Errorf("fast path streamed %d events before done, want 0", events)
+		}
+		if !done.StaticClean {
+			t.Errorf("done.StaticClean = false, want true: %+v", done)
+		}
+		if done.Verdicts != 0 || done.Races != 0 {
+			t.Errorf("fast path reported verdicts: %+v", done)
+		}
+		if s.dispatch.active.Load() != 0 {
+			t.Errorf("fast path left an active slot")
+		}
+	})
+
+	t.Run("no-static-prune-forces-dynamic", func(t *testing.T) {
+		// The same two programs with the ablation flag take the full
+		// dynamic path: the clean one runs (empty verdict stream, no
+		// StaticClean marker) and the faulty one is admitted rather than
+		// rejected.
+		done, err := c.Analyze(context.Background(), Request{Source: cleanSource, Name: "clean",
+			Options: &RequestOptions{NoStaticPrune: true}}, nil)
+		if err != nil {
+			t.Fatalf("analyze clean: %v", err)
+		}
+		if done.StaticClean {
+			t.Errorf("noStaticPrune run still marked StaticClean: %+v", done)
+		}
+		if done.Verdicts != 0 {
+			t.Errorf("race-free program produced verdicts dynamically: %+v", done)
+		}
+
+		resp := postAnalyze(t, ts.URL, Request{Source: faultySource, Name: "faulty",
+			Options: &RequestOptions{NoStaticPrune: true}})
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("noStaticPrune faulty submission: status %d, want 200 (dynamic run)", resp.StatusCode)
+		}
+	})
+
+	t.Run("metrics", func(t *testing.T) {
+		body := scrapeMetrics(t, ts.URL)
+		for _, want := range []string{
+			"portend_lint_rejections_total 1",
+			"portend_static_clean_fastpath_total 1",
+			"portend_pruned_schedules_total",
+		} {
+			if !strings.Contains(body, want) {
+				t.Errorf("metrics missing %q:\n%s", want, body)
+			}
+		}
+	})
+}
+
+// TestStaticFactsCachedOnTier pins that admission computes the static
+// artifact once per tier: a repeat submission reuses the cached facts
+// rather than re-linting.
+func TestStaticFactsCachedOnTier(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 2; i++ {
+		resp := postAnalyze(t, ts.URL, Request{Source: faultySource, Name: "faulty"})
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Fatalf("round %d: status %d, want 422", i, resp.StatusCode)
+		}
+	}
+	if got := s.metrics.lintRejections.Load(); got != 2 {
+		t.Errorf("lintRejections = %d, want 2", got)
+	}
+	// Exactly one tier exists for the submission and it holds the facts.
+	n, _, _ := s.tiers.snapshot()
+	if n != 1 {
+		t.Errorf("tiers = %d, want 1", n)
+	}
+}

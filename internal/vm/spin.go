@@ -1,6 +1,10 @@
 package vm
 
-import "repro/internal/bytecode"
+import (
+	"sort"
+
+	"repro/internal/bytecode"
+)
 
 // spinInfo tracks, per thread, how often each jump instruction executed
 // and which shared locations were read since tracking started. It backs
@@ -165,6 +169,12 @@ func (m *Machine) DiagnoseSpin(tid int) SpinDiagnosis {
 			d.WritableByOther = true
 		}
 	}
+	sort.Slice(d.SharedReads, func(i, j int) bool {
+		if d.SharedReads[i].Space != d.SharedReads[j].Space {
+			return d.SharedReads[i].Space < d.SharedReads[j].Space
+		}
+		return d.SharedReads[i].Obj < d.SharedReads[j].Obj
+	})
 	return d
 }
 

@@ -66,6 +66,50 @@ func ManyRaceSource(races, pad int) string {
 	return b.String()
 }
 
+// StaticPruneSource generates the workload behind the static-prune
+// benchmarks and tests: `depth` nested input-dependent guards gate a
+// region of `races` benign races, and the program's tail touches
+// nothing shared. Multi-path exploration forks a bypass sibling at
+// every guard; each sibling resumes on the guard's skip edge, from
+// which neither the racy globals nor any further symbolic branch is
+// statically reachable. Those siblings are exactly what the static
+// prune can prove dead — run with pruning off they execute to
+// completion and are discarded without contributing to any verdict, so
+// skipping them changes instruction counts and nothing else. A nonzero
+// `pad` appends a concrete compute tail every path (mainline and
+// bypass alike) must execute, which is what makes each pruned sibling
+// worth real interpretation time in the benchmarks. Analyze with
+// inputs pinned above depth (e.g. 100) so the recorded run takes every
+// guard and reaches the races.
+func StaticPruneSource(depth, races, pad int) string {
+	var b strings.Builder
+	b.WriteString("// static-prune: nested tainted guards gating a racy region.\n")
+	for i := 0; i < races; i++ {
+		fmt.Fprintf(&b, "var g%d = 0\n", i)
+	}
+	b.WriteString("var acc = 0\n")
+	for i := 0; i < races; i++ {
+		fmt.Fprintf(&b, "fn w%d() {\n\tg%d = 7\n}\n", i, i)
+	}
+	b.WriteString("fn main() {\n\tlet x = input()\n")
+	for d := 0; d < depth; d++ {
+		fmt.Fprintf(&b, "%sif x > %d {\n", strings.Repeat("\t", d+1), d+1)
+	}
+	indent := strings.Repeat("\t", depth+1)
+	for i := 0; i < races; i++ {
+		fmt.Fprintf(&b, "%slet t%d = spawn w%d()\n%syield()\n%sg%d = 7\n%sjoin(t%d)\n",
+			indent, i, i, indent, indent, i, indent, i)
+	}
+	for d := depth - 1; d >= 0; d-- {
+		fmt.Fprintf(&b, "%s}\n", strings.Repeat("\t", d+1))
+	}
+	if pad > 0 {
+		fmt.Fprintf(&b, "\tfor i = 0, %d { acc = acc + 1 }\n", pad)
+	}
+	b.WriteString("\tprint(\"done\")\n}\n")
+	return b.String()
+}
+
 // SymPrefixRaceSource is ManyRaceSource with the input() moved ahead of
 // the races: after a `pad`-iteration compute prefix, the `input()` read
 // and `branches` input-dependent branches execute, and only then the

@@ -136,6 +136,14 @@ type Stats struct {
 	SolverCacheCap     int `json:"solverCacheCap,omitempty"`
 	SolverCacheResizes int `json:"solverCacheResizes,omitempty"`
 
+	// PrunedSchedules counts exploration worklist items the static
+	// pre-analysis proved inert for this race (no reachable access to the
+	// racy object, no reachable symbolic branch) and skipped without
+	// running; PathItemsRun counts the items that did run. The prune is
+	// verdict-preserving — it shifts only these work counters.
+	PrunedSchedules int `json:"prunedSchedules,omitempty"`
+	PathItemsRun    int `json:"pathItemsRun,omitempty"`
+
 	Duration time.Duration `json:"durationNs"`
 }
 
@@ -216,6 +224,8 @@ func newVerdict(cv *core.Verdict, prog *bytecode.Program) Verdict {
 			SiblingMemoHits:      cv.Stats.SiblingMemoHits,
 			SolverCacheCap:       cv.Stats.SolverCacheCap,
 			SolverCacheResizes:   cv.Stats.SolverCacheResizes,
+			PrunedSchedules:      cv.Stats.PrunedSchedules,
+			PathItemsRun:         cv.Stats.PathItemsRun,
 			Duration:             cv.Stats.Duration,
 		},
 		prog: prog,

@@ -36,13 +36,14 @@ func main() {
 	baseline := flag.String("baseline", "", "compare corpus accuracy against this baseline JSON and exit non-zero on any regression (corpus mode)")
 	remote := flag.String("remote", "", "run the corpus through a portendd instance at this base URL instead of in-process (corpus mode)")
 	tenant := flag.String("tenant", "", "tenant identity sent to the portendd instance (-remote only)")
+	retries := flag.Int("retries", 4, "max resubmissions per corpus program after connect failures, shedding, or disconnects (-remote only; 0 = fail fast)")
 	parallel := cliutil.ParallelFlag("classification worker-pool width per run (1 = sequential; results are identical for every width, only wall-clock changes)")
 	flag.Parse()
 
 	opts := eval.Options(*parallel)
 
 	if *corpusMode {
-		os.Exit(runCorpus(*corpusSeed, *corpusPerFamily, *parallel, *jsonOut, *baseline, *remote, *tenant))
+		os.Exit(runCorpus(*corpusSeed, *corpusPerFamily, *parallel, *retries, *jsonOut, *baseline, *remote, *tenant))
 	}
 	if *remote != "" {
 		fmt.Fprintln(os.Stderr, "paper-eval: -remote requires -corpus (the paper tables run in-process)")
@@ -103,10 +104,13 @@ func main() {
 // portendd instance when remote is set — and returns the process exit
 // code: 0 on success, 1 when the baseline gate finds a regression or a
 // labeled verdict diverges from its expected-Portend label.
-func runCorpus(seed uint64, perFamily, parallel int, jsonOut, baseline, remote, tenant string) int {
+func runCorpus(seed uint64, perFamily, parallel, retries int, jsonOut, baseline, remote, tenant string) int {
 	var res *eval.CorpusResult
 	if remote != "" {
-		c := &server.Client{Base: remote, Tenant: tenant}
+		// Resumable by default: a daemon restart or shed mid-corpus is
+		// retried with backoff and the deduped stream keeps the merged
+		// verdicts identical to an uninterrupted run.
+		c := &server.Client{Base: remote, Tenant: tenant, MaxRetries: retries}
 		var err error
 		res, err = eval.RunCorpusRemote(context.Background(), c, corpus.Suite(seed, perFamily), parallel)
 		if err != nil {

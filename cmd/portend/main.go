@@ -49,6 +49,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print full debugging-aid reports")
 	remote := flag.String("remote", "", "submit to a portendd instance at this base URL instead of analyzing in-process")
 	tenant := flag.String("tenant", "", "tenant identity sent to the portendd instance (-remote only)")
+	retries := flag.Int("retries", 4, "max resubmissions after connect failures, shedding, or mid-stream disconnects (-remote only; 0 = fail fast)")
 	flag.Parse()
 
 	a := portend.New(
@@ -114,7 +115,7 @@ func main() {
 			fatal(errors.New("-whatif is not supported with -remote (the analysis runs server-side)"))
 		}
 		runRemote(ctx, *remote, *tenant, *workload, args, inputs,
-			*mp, *ma, *sym, *parallel, *jsonOut, *verbose)
+			*mp, *ma, *sym, *parallel, *retries, *jsonOut, *verbose)
 		return
 	}
 
@@ -166,8 +167,11 @@ func main() {
 // NDJSON stream. In JSON mode each verdict event's payload is re-emitted
 // verbatim, so stdout is byte-identical to a local `-stream -json` run
 // (modulo stats counters, which depend on cache history); the done
-// summary goes to stderr as one `portend: done {...}` line.
-func runRemote(ctx context.Context, base, tenant, workload string, args, inputs []int64, mp, ma, sym, parallel int, jsonOut, verbose bool) {
+// summary goes to stderr as one `portend: done {...}` line. With
+// retries > 0 the client resumes across daemon restarts, shed responses,
+// and mid-stream disconnects; dedupe keeps the merged output identical
+// to an uninterrupted run.
+func runRemote(ctx context.Context, base, tenant, workload string, args, inputs []int64, mp, ma, sym, parallel, retries int, jsonOut, verbose bool) {
 	req := server.Request{
 		Args:    args,
 		Inputs:  inputs,
@@ -188,7 +192,7 @@ func runRemote(ctx context.Context, base, tenant, workload string, args, inputs 
 		os.Exit(2)
 	}
 
-	c := &server.Client{Base: base, Tenant: tenant}
+	c := &server.Client{Base: base, Tenant: tenant, MaxRetries: retries}
 	i := 0
 	done, err := c.Analyze(ctx, req, func(ev server.Event) error {
 		switch ev.Type {

@@ -91,6 +91,7 @@ func RunStream(ctx context.Context, p *bytecode.Program, args, inputs []int64, o
 	inner := opts
 	if !inner.NoCache && inner.shared == nil {
 		if inner.Tier != nil {
+			inner.Tier.bindPredicates(inner.Predicates)
 			inner.shared = inner.Tier.shared
 		} else {
 			inner.shared = newSharedCaches(inner)

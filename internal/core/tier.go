@@ -35,6 +35,12 @@ type CacheTier struct {
 	active int
 	runs   int64
 
+	// pendingPreds are predicate observers restored from a snapshot
+	// without their check functions (functions have no wire form); the
+	// first run on the tier re-binds them from its effective options —
+	// see bindPredicates.
+	pendingPreds []pendingPred
+
 	// facts caches the submission's static-analysis artifact. A tier is
 	// keyed by the identical submission and the pass is a pure function
 	// of the compiled program, so the first run's facts serve every later

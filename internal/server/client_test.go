@@ -1,0 +1,210 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// verdictLine renders a deterministic fake verdict event for stub
+// streams; i is the detection-order index.
+func verdictLine(i int) Event {
+	return Event{Type: EventVerdict, Verdict: json.RawMessage(fmt.Sprintf(`{"i":%d}`, i)), Summary: fmt.Sprintf("v%d", i)}
+}
+
+func writeEvents(t *testing.T, w http.ResponseWriter, evs ...Event) {
+	t.Helper()
+	enc := json.NewEncoder(w)
+	for _, ev := range evs {
+		if err := enc.Encode(ev); err != nil {
+			t.Errorf("stub encode: %v", err)
+		}
+	}
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// TestClientResumesMidStreamDisconnect pins the resumable-stream
+// contract: a stream cut after two verdicts is retried, the repeat of
+// the deterministic prefix is deduped, and the caller sees every event
+// exactly once — the merged output of the two attempts is identical to
+// an uninterrupted run.
+func TestClientResumesMidStreamDisconnect(t *testing.T) {
+	var attempts atomic.Int64
+	full := []Event{
+		{Type: EventDegraded, Degraded: &DegradedInfo{Mp: 2, Ma: 1}},
+		verdictLine(1), verdictLine(2),
+		{Type: EventRaceError, Race: "r3", Message: "boom"},
+		verdictLine(4),
+		{Type: EventDone, Done: &DoneInfo{Verdicts: 3, Errors: 1, Races: 4}},
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := attempts.Add(1)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if n == 1 {
+			// Degraded + two verdicts, then the connection dies.
+			writeEvents(t, w, full[0], full[1], full[2])
+			panic(http.ErrAbortHandler)
+		}
+		writeEvents(t, w, full...)
+	}))
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL, MaxRetries: 3, RetryBase: time.Millisecond}
+	var got []string
+	done, err := c.Analyze(context.Background(), Request{Workload: "x"}, func(ev Event) error {
+		switch ev.Type {
+		case EventDegraded:
+			got = append(got, "degraded")
+		case EventVerdict:
+			got = append(got, string(ev.Verdict))
+		case EventRaceError:
+			got = append(got, "raceError:"+ev.Race)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("resumed analyze: %v", err)
+	}
+	if attempts.Load() != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts.Load())
+	}
+	want := []string{"degraded", `{"i":1}`, `{"i":2}`, "raceError:r3", `{"i":4}`}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivered[%d] = %q, want %q (full %v)", i, got[i], want[i], got)
+		}
+	}
+	if done == nil || done.Races != 4 {
+		t.Fatalf("done = %+v, want Races=4", done)
+	}
+}
+
+// TestClientRetriesConnectAndOverload pins the other retriable classes:
+// a connection-level failure and a 429 shed both back off and retry.
+func TestClientRetriesConnectAndOverload(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch attempts.Add(1) {
+		case 1:
+			panic(http.ErrAbortHandler) // dies before any byte
+		case 2:
+			writeError(w, http.StatusTooManyRequests, ErrorBody{Error: "shed", Overloaded: true, Tenant: "t", QueueDepth: 8})
+		default:
+			writeEvents(t, w, verdictLine(1), Event{Type: EventDone, Done: &DoneInfo{Verdicts: 1, Races: 1}})
+		}
+	}))
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL, MaxRetries: 4, RetryBase: time.Millisecond}
+	n := 0
+	done, err := c.Analyze(context.Background(), Request{Workload: "x"}, func(ev Event) error {
+		if ev.Type == EventVerdict {
+			n++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if attempts.Load() != 3 || n != 1 || done.Verdicts != 1 {
+		t.Fatalf("attempts=%d delivered=%d done=%+v", attempts.Load(), n, done)
+	}
+}
+
+// TestClientFailFastByDefault pins that the zero-value client keeps the
+// old semantics: one attempt, typed overload error, Retry-After
+// surfaced for the caller to act on.
+func TestClientFailFastByDefault(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.Header().Set("Retry-After", "7")
+		writeError(w, http.StatusTooManyRequests, ErrorBody{Error: "shed", Overloaded: true, Tenant: "t", QueueDepth: 3})
+	}))
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL}
+	_, err := c.Analyze(context.Background(), Request{Workload: "x"}, nil)
+	oe, ok := err.(*OverloadedError)
+	if !ok {
+		t.Fatalf("err = %T %v, want *OverloadedError", err, err)
+	}
+	if oe.RetryAfter != 7*time.Second {
+		t.Errorf("RetryAfter = %v, want 7s", oe.RetryAfter)
+	}
+	if attempts.Load() != 1 {
+		t.Errorf("attempts = %d, want 1 (MaxRetries=0 must fail fast)", attempts.Load())
+	}
+}
+
+// TestClientNeverRetriesTerminal pins the non-retriable classes: a 4xx
+// rejection and a terminal error event (a panicked run) are
+// authoritative — retrying would just repeat them.
+func TestClientNeverRetriesTerminal(t *testing.T) {
+	t.Run("4xx", func(t *testing.T) {
+		var attempts atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			attempts.Add(1)
+			writeError(w, http.StatusUnprocessableEntity, ErrorBody{Error: "lint rejected"})
+		}))
+		defer ts.Close()
+		c := &Client{Base: ts.URL, MaxRetries: 5, RetryBase: time.Millisecond}
+		if _, err := c.Analyze(context.Background(), Request{Workload: "x"}, nil); err == nil {
+			t.Fatal("want error")
+		}
+		if attempts.Load() != 1 {
+			t.Fatalf("attempts = %d, want 1", attempts.Load())
+		}
+	})
+	t.Run("panic event", func(t *testing.T) {
+		var attempts atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			attempts.Add(1)
+			writeEvents(t, w, Event{Type: EventError, Message: "internal panic: boom", Panic: true, Stack: "stack"})
+		}))
+		defer ts.Close()
+		c := &Client{Base: ts.URL, MaxRetries: 5, RetryBase: time.Millisecond}
+		_, err := c.Analyze(context.Background(), Request{Workload: "x"}, nil)
+		re, ok := err.(*RemoteError)
+		if !ok {
+			t.Fatalf("err = %T %v, want *RemoteError", err, err)
+		}
+		if re.Message != "internal panic: boom" {
+			t.Errorf("message = %q", re.Message)
+		}
+		if attempts.Load() != 1 {
+			t.Fatalf("attempts = %d, want 1", attempts.Load())
+		}
+	})
+}
+
+// TestClientRetryRespectsContext pins that a dead caller context stops
+// the retry loop instead of sleeping through backoff.
+func TestClientRetryRespectsContext(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		panic(http.ErrAbortHandler)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := &Client{Base: ts.URL, MaxRetries: 10, RetryBase: time.Hour}
+	if _, err := c.Analyze(ctx, Request{Workload: "x"}, nil); err == nil {
+		t.Fatal("want error")
+	}
+	if attempts.Load() > 1 {
+		t.Fatalf("attempts = %d with a cancelled context", attempts.Load())
+	}
+}

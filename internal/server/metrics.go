@@ -21,6 +21,21 @@ type metrics struct {
 	lintRejections  atomic.Int64 // rejected at admission by static lint (422)
 	staticClean     atomic.Int64 // statically race-free fast-path answers
 	prunedSchedules atomic.Int64 // worklist items the static prune skipped
+
+	runPanics   atomic.Int64 // runs ended by the panic recover boundary
+	disconnects atomic.Int64 // requests whose client went away mid-flight
+
+	tierRestores    atomic.Int64 // tiers imported from the durable store
+	tierLoadErrors  atomic.Int64 // durable loads that failed (quarantine/cold)
+	tierFlushes     atomic.Int64 // tier snapshots persisted
+	tierFlushErrors atomic.Int64 // tier snapshot writes that failed
+}
+
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // handleMetrics renders the Prometheus text exposition format
@@ -49,6 +64,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		s.metrics.staticClean.Load())
 	g("portend_pruned_schedules_total", "Multi-path worklist items skipped by the static dead-item prune.", "counter",
 		s.metrics.prunedSchedules.Load())
+	g("portend_run_panics_total", "Runs that panicked and were isolated by the recover boundary.", "counter",
+		s.metrics.runPanics.Load())
+	g("portend_disconnects_total", "Requests whose client disconnected mid-flight (queued or streaming).", "counter",
+		s.metrics.disconnects.Load())
+	g("portend_tier_restores_total", "Cache tiers restored from the durable store.", "counter",
+		s.metrics.tierRestores.Load())
+	g("portend_tier_load_errors_total", "Durable tier loads that failed verification or import (file quarantined or skipped).", "counter",
+		s.metrics.tierLoadErrors.Load())
+	g("portend_tier_flushes_total", "Tier snapshots persisted to the durable store.", "counter",
+		s.metrics.tierFlushes.Load())
+	g("portend_tier_flush_errors_total", "Tier snapshot writes that failed (warmth lost, request unaffected).", "counter",
+		s.metrics.tierFlushErrors.Load())
+	g("portend_draining", "1 while the server is draining for shutdown.", "gauge",
+		boolGauge(s.draining.Load()))
 	g("portend_requests_active", "Analyses holding a slot right now.", "gauge",
 		s.dispatch.active.Load())
 	g("portend_shed_total", "Requests shed with HTTP 429 at the hard queue bound.", "counter",
@@ -67,9 +96,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "portend_queue_depth{tenant=%q} %d\n", t, depths[t])
 	}
 
-	nTiers, tierEvictions, agg := s.tiers.snapshot()
+	nTiers, tierEvictions, tierBytes, agg := s.tiers.snapshot()
 	g("portend_tiers", "Resident persistent cache tiers.", "gauge", nTiers)
 	g("portend_tier_evictions_total", "Whole tiers evicted by the registry's LRU bound.", "counter", tierEvictions)
+	g("portend_tier_bytes", "Measured memory footprint of all resident cache tiers.", "gauge", tierBytes)
 	g("portend_tier_checkpoints", "Concrete replay checkpoints resident across tiers.", "gauge", agg.Checkpoints)
 	g("portend_tier_checkpoint_hits_total", "Replays resumed from a tier's concrete store.", "counter", agg.CheckpointHits)
 	g("portend_tier_checkpoint_thinned_total", "Concrete checkpoints dropped by store thinning.", "counter", agg.CheckpointThinned)

@@ -120,6 +120,13 @@ type Event struct {
 	Race    string `json:"race,omitempty"`
 	Message string `json:"message,omitempty"`
 
+	// Panic marks a terminal error event minted by the recover boundary
+	// around a panicking run; Stack carries the captured goroutine stack.
+	// The panic poisons (evicts) the run's cache tier but the daemon and
+	// every other request keep serving.
+	Panic bool   `json:"panic,omitempty"`
+	Stack string `json:"stack,omitempty"`
+
 	// Degraded describes the coarser budget a soft-shed run got.
 	Degraded *DegradedInfo `json:"degraded,omitempty"`
 
@@ -194,13 +201,19 @@ type LintIssue struct {
 }
 
 // ErrorBody is the JSON body of non-streaming error responses (400
-// malformed request, 422 lint-rejected, 429 shed). Clients distinguish
-// shedding by the Overloaded flag rather than parsing the message.
+// malformed request, 422 lint-rejected, 429 shed, 503 draining).
+// Clients distinguish shedding by the Overloaded flag rather than
+// parsing the message.
 type ErrorBody struct {
 	Error      string `json:"error"`
 	Overloaded bool   `json:"overloaded,omitempty"`
 	Tenant     string `json:"tenant,omitempty"`
 	QueueDepth int    `json:"queueDepth,omitempty"`
+
+	// Draining marks a 503 from a daemon that is shutting down and no
+	// longer admits work; a resuming client should retry elsewhere or
+	// after the restart.
+	Draining bool `json:"draining,omitempty"`
 
 	// Lint carries the error-severity static findings behind a 422: sync
 	// operations the static pass proves fault on every execution

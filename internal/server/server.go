@@ -1,14 +1,21 @@
 package server
 
 import (
+	"context"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"runtime"
+	"runtime/debug"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dstore"
+	"repro/internal/fault"
 	"repro/internal/sa"
 	"repro/portend"
 )
@@ -29,9 +36,10 @@ type Config struct {
 	QueueHard int
 
 	// MemoryBudgetMB bounds the persistent cache tiers collectively
-	// (default 256). It converts to a tier count with a coarse ~8MB
-	// per-tier estimate (checkpoint stores dominate; see docs/
-	// service.md); MaxTiers overrides the conversion directly.
+	// (default 256), enforced against each tier's measured footprint
+	// (core.CacheTier.MemBytes). MaxTiers is a hard count backstop on
+	// top of the byte budget; it defaults from the budget with a coarse
+	// ~8MB per-tier estimate.
 	MemoryBudgetMB int
 	MaxTiers       int
 
@@ -42,11 +50,32 @@ type Config struct {
 	// DefaultParallel is the pool width for requests that do not set
 	// one (default: the engine default, GOMAXPROCS).
 	DefaultParallel int
+
+	// DataDir, when set, makes cache tiers durable: each tier is
+	// serialized to one checksummed file under the directory (see
+	// internal/dstore) after its runs finish and again on drain, and is
+	// restored lazily on the first request for its key after a restart —
+	// repeat submissions then report warmStart across process lifetimes,
+	// with byte-identical verdicts. Corrupt or version-skewed files are
+	// quarantined and logged and the tier starts cold; durability
+	// failures never fail a request.
+	DataDir string
+
+	// RunTimeout, when positive, is the per-run watchdog: an analysis
+	// exceeding it is cancelled through its context and the stream ends
+	// with a terminal error event after whatever verdicts were already
+	// sent. Zero disables the watchdog.
+	RunTimeout time.Duration
+
+	// DrainTimeout bounds how long Drain waits for in-flight runs
+	// before flushing tiers and returning (default 10s).
+	DrainTimeout time.Duration
 }
 
-// estTierMB is the coarse per-tier memory estimate used to convert
-// MemoryBudgetMB into a tier count: 64 checkpoints × ~2 stores ×
-// ~50KB state clones, plus the solver memo, rounded up generously.
+// estTierMB is the coarse per-tier memory estimate used to derive the
+// default tier-count backstop from MemoryBudgetMB: 64 checkpoints ×
+// ~2 stores × ~50KB state clones, plus the solver memo, rounded up
+// generously. Eviction itself uses measured footprints.
 const estTierMB = 8
 
 func (c Config) withDefaults() Config {
@@ -68,33 +97,61 @@ func (c Config) withDefaults() Config {
 			c.MaxTiers = 1
 		}
 	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
 	return c
 }
 
 // Server is the portendd service: admission control in front of the
-// portend analyzer, persistent cache tiers behind it.
+// portend analyzer, persistent cache tiers behind it, optionally backed
+// by a durable on-disk store.
 type Server struct {
 	cfg      Config
 	dispatch *dispatcher
 	tiers    *tierRegistry
 	metrics  metrics
+
+	store    *dstore.Dir  // nil = in-memory tiers only
+	ready    atomic.Bool  // startup tier-index scan finished
+	draining atomic.Bool  // Drain called; no new work admitted
+	inflight atomic.Int64 // requests inside handleAnalyze
 }
 
-// New builds a Server from the config.
+// New builds a Server from the config. An unusable DataDir is logged
+// and the server runs without durability — by contract, durability
+// failures cost warmth across restarts, never availability.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	tierOpts := core.DefaultOptions()
 	tierOpts.SolverCacheCeiling = cfg.SolverCacheCeiling
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		dispatch: newDispatcher(cfg.Slots, cfg.QueueSoft, cfg.QueueHard),
-		tiers:    newTierRegistry(cfg.MaxTiers, tierOpts),
+		tiers:    newTierRegistry(cfg.MaxTiers, int64(cfg.MemoryBudgetMB)<<20, tierOpts),
 		metrics:  metrics{start: time.Now()},
 	}
+	if cfg.DataDir != "" {
+		d, err := dstore.Open(cfg.DataDir)
+		if err != nil {
+			log.Printf("portendd: data dir unavailable, running without durability: %v", err)
+		} else {
+			s.store = d
+			if keys, err := d.Scan(); err != nil {
+				log.Printf("portendd: data dir scan: %v", err)
+			} else if len(keys) > 0 {
+				log.Printf("portendd: data dir %s: %d durable tier(s) indexed", cfg.DataDir, len(keys))
+			}
+		}
+	}
+	s.ready.Store(true)
+	return s
 }
 
 // Handler returns the service's HTTP routes: POST /v1/analyze (NDJSON
-// verdict stream), GET /metrics (Prometheus text), GET /healthz.
+// verdict stream), GET /metrics (Prometheus text), GET /healthz (pure
+// liveness — 200 for as long as the process serves), GET /readyz
+// (readiness — 503 before the startup tier scan and while draining).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
@@ -103,7 +160,112 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, `{"status":"ok"}`)
 	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		switch {
+		case s.draining.Load():
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"status":"draining"}`)
+		case !s.ready.Load():
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"status":"starting"}`)
+		default:
+			fmt.Fprintln(w, `{"status":"ready"}`)
+		}
+	})
 	return mux
+}
+
+// Drain stops admission (new requests get 503 with Draining set, and
+// /readyz turns 503), waits up to the configured DrainTimeout for
+// in-flight runs to finish, then flushes every idle tier to the durable
+// store. Call before shutting the HTTP server down so a SIGTERM loses
+// no warmth.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	deadline := time.Now().Add(s.cfg.DrainTimeout)
+	for s.inflight.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	s.flushAll()
+}
+
+// tierFor fetches the tier for key, restoring it from the durable store
+// on first sight — which covers both post-restart warmth and reload
+// after an LRU eviction.
+func (s *Server) tierFor(key tierKey) *core.CacheTier {
+	tier, created := s.tiers.get(key)
+	if created && s.store != nil {
+		s.restoreTier(key, tier)
+	}
+	return tier
+}
+
+// restoreTier loads and imports the durable snapshot for key, if one
+// exists. A file that fails verification or import is quarantined and
+// the tier stays cold; transient read failures just stay cold.
+func (s *Server) restoreTier(key tierKey, tier *core.CacheTier) {
+	hk := hex.EncodeToString(key[:])
+	if fault.Fire(fault.TierLoadDelay) {
+		// Chaos hook: hold the restore open so a test can kill or drain
+		// the daemon mid-load.
+		time.Sleep(250 * time.Millisecond)
+	}
+	var snap core.TierSnapshot
+	err := s.store.Load(hk, &snap)
+	switch {
+	case err == nil:
+	case errors.Is(err, dstore.ErrNotFound):
+		return
+	case errors.Is(err, dstore.ErrBadFile):
+		s.metrics.tierLoadErrors.Add(1)
+		log.Printf("portendd: tier %s: %v — quarantined, starting cold", hk[:12], err)
+		if qerr := s.store.Quarantine(hk); qerr != nil {
+			log.Printf("portendd: tier %s: %v", hk[:12], qerr)
+		}
+		return
+	default:
+		s.metrics.tierLoadErrors.Add(1)
+		log.Printf("portendd: tier %s: load: %v — starting cold", hk[:12], err)
+		return
+	}
+	if err := tier.Restore(&snap); err != nil {
+		s.metrics.tierLoadErrors.Add(1)
+		log.Printf("portendd: tier %s: restore: %v — quarantined, starting cold", hk[:12], err)
+		if qerr := s.store.Quarantine(hk); qerr != nil {
+			log.Printf("portendd: tier %s: %v", hk[:12], qerr)
+		}
+		return
+	}
+	s.metrics.tierRestores.Add(1)
+}
+
+// flushTier persists the tier's snapshot unless a run is active on it —
+// the last finisher on a busy tier takes the flush instead. Write
+// failures are logged and counted, never surfaced to the request.
+func (s *Server) flushTier(key tierKey, tier *core.CacheTier) {
+	if s.store == nil {
+		return
+	}
+	snap, ok := tier.SnapshotIfIdle()
+	if !ok {
+		return
+	}
+	hk := hex.EncodeToString(key[:])
+	if err := s.store.Write(hk, snap); err != nil {
+		s.metrics.tierFlushErrors.Add(1)
+		log.Printf("portendd: flush tier %s: %v", hk[:12], err)
+		return
+	}
+	s.metrics.tierFlushes.Add(1)
+}
+
+// flushAll persists every resident idle tier (drain path).
+func (s *Server) flushAll() {
+	if s.store == nil {
+		return
+	}
+	s.tiers.each(func(key tierKey, t *core.CacheTier) { s.flushTier(key, t) })
 }
 
 // TenantHeader names the request header carrying the tenant identity;
@@ -115,6 +277,16 @@ const TenantHeader = "X-Portend-Tenant"
 const maxRequestBody = 8 << 20
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, ErrorBody{
+			Error:    "portendd: draining for shutdown",
+			Draining: true,
+		})
+		return
+	}
+
 	var req Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	if err := dec.Decode(&req); err != nil {
@@ -136,6 +308,16 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	opts := s.optionsFor(&req)
 	target := req.Target()
 
+	// One disconnect is one counter tick no matter how it is observed
+	// (write failure on the stream, or the request context dying).
+	disconnected := false
+	markDisc := func() {
+		if !disconnected {
+			disconnected = true
+			s.metrics.disconnects.Add(1)
+		}
+	}
+
 	// Static admission (before taking a slot): fetch the submission's
 	// static-analysis facts from its tier — computed once per tier, a
 	// pure function of the program — and short-circuit the two cases a
@@ -147,7 +329,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	// failures leave facts nil and fall through so the dynamic path
 	// reports them exactly as before.
 	if !opts.NoStaticPrune {
-		tier, _ := s.tiers.get(keyFor(&req, opts))
+		tier := s.tierFor(keyFor(&req, opts))
 		facts := tier.StaticFacts(func() *sa.Facts {
 			lr, err := portend.Lint(target)
 			if err != nil {
@@ -187,6 +369,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var oe *overloadError
 		if errors.As(err, &oe) {
+			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, ErrorBody{
 				Error:      err.Error(),
 				Overloaded: true,
@@ -197,6 +380,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		}
 		// Context ended while queued; the client is gone.
 		s.metrics.cancelled.Add(1)
+		markDisc()
 		return
 	}
 	defer release()
@@ -211,10 +395,18 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	// The tier key hashes the effective options, so degraded runs get a
 	// tier of their own — a coarser run's checkpoints are states of a
 	// different exploration and must not warm a full-budget run.
-	tier, _ := s.tiers.get(keyFor(&req, opts))
+	key := keyFor(&req, opts)
+	tier := s.tierFor(key)
 	before := tier.Stats()
 	endRun := tier.BeginRun()
-	defer endRun()
+	runEnded := false
+	endOnce := func() {
+		if !runEnded {
+			runEnded = true
+			endRun()
+		}
+	}
+	defer endOnce()
 	opts.Tier = tier
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -223,6 +415,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	emit := func(e Event) bool {
 		if err := enc.Encode(e); err != nil {
+			markDisc()
 			return false
 		}
 		if flusher != nil {
@@ -237,46 +430,114 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Per-run watchdog: a positive RunTimeout cancels the run through
+	// the same context plumbing a client disconnect uses, so the stream
+	// ends with a terminal error after the verdicts already delivered.
+	runCtx := ctx
+	if s.cfg.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, s.cfg.RunTimeout)
+		defer cancel()
+	}
+
 	a := portend.New(portend.WithEngineOptions(opts))
 	start := time.Now()
 	done := DoneInfo{Target: target.Name(), Degraded: degraded, WarmStart: before.Warm()}
-	terminalErr := false
-	for v, err := range a.Analyze(ctx, target) {
-		if err != nil {
-			var re *portend.RaceError
-			if errors.As(err, &re) {
-				done.Errors++
-				if !emit(Event{Type: EventRaceError, Race: re.RaceID, Message: re.Err.Error()}) {
-					return
+	var (
+		panicked    bool
+		panicEv     Event
+		aborted     bool // stream dead; nothing more can be sent
+		terminalErr bool // terminal error event already emitted
+	)
+	// The run itself executes under a recover boundary: a panic anywhere
+	// in the engine becomes a typed terminal event on this stream, never
+	// a daemon crash, and poisons only this run's tier.
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				panicked = true
+				panicEv = Event{
+					Type:    EventError,
+					Message: fmt.Sprintf("internal panic: %v", p),
+					Panic:   true,
+					Stack:   string(debug.Stack()),
 				}
-				continue
 			}
-			terminalErr = true
-			if ctx.Err() != nil {
+		}()
+		if fault.Fire(fault.RunPanic) {
+			panic("injected run panic (fault " + fault.RunPanic + ")")
+		}
+		for v, err := range a.Analyze(runCtx, target) {
+			if err != nil {
+				var re *portend.RaceError
+				if errors.As(err, &re) {
+					done.Errors++
+					if !emit(Event{Type: EventRaceError, Race: re.RaceID, Message: re.Err.Error()}) {
+						aborted = true
+						return
+					}
+					continue
+				}
+				terminalErr = true
+				if ctx.Err() != nil {
+					// The client's context died — a watchdog timeout leaves
+					// the parent context alive and is not a disconnect.
+					s.metrics.cancelled.Add(1)
+					markDisc()
+				}
+				emit(Event{Type: EventError, Message: err.Error()})
+				return
+			}
+			raw, err := json.Marshal(v)
+			if err != nil {
+				terminalErr = true
+				emit(Event{Type: EventError, Message: "marshal verdict: " + err.Error()})
+				return
+			}
+			done.Verdicts++
+			if n := v.Stats.PrunedSchedules; n > 0 {
+				done.PrunedSchedules += n
+				s.metrics.prunedSchedules.Add(int64(n))
+			}
+			ev := Event{Type: EventVerdict, Verdict: raw, Summary: v.String()}
+			if req.Verbose {
+				ev.Report = v.DebugReport()
+			}
+			if !emit(ev) {
 				s.metrics.cancelled.Add(1)
+				aborted = true
+				return
 			}
-			emit(Event{Type: EventError, Message: err.Error()})
-			break
 		}
-		raw, err := json.Marshal(v)
-		if err != nil {
-			terminalErr = true
-			emit(Event{Type: EventError, Message: "marshal verdict: " + err.Error()})
-			break
+	}()
+	endOnce()
+
+	if panicked {
+		// Isolate the blast radius: this run may have died mid-deposit,
+		// so its tier (and its durable file) cannot be trusted — evict
+		// both and let the next identical submission rebuild cold. The
+		// admission slot is freed by the deferred release; every other
+		// tenant's run is untouched.
+		s.metrics.runPanics.Add(1)
+		s.tiers.evict(key)
+		if s.store != nil {
+			if err := s.store.Remove(hex.EncodeToString(key[:])); err != nil {
+				log.Printf("portendd: %v", err)
+			}
 		}
-		done.Verdicts++
-		if n := v.Stats.PrunedSchedules; n > 0 {
-			done.PrunedSchedules += n
-			s.metrics.prunedSchedules.Add(int64(n))
-		}
-		ev := Event{Type: EventVerdict, Verdict: raw, Summary: v.String()}
-		if req.Verbose {
-			ev.Report = v.DebugReport()
-		}
-		if !emit(ev) {
-			s.metrics.cancelled.Add(1)
-			return
-		}
+		log.Printf("portendd: run panic (tier %x, tenant %q): %s",
+			key[:6], tenant, panicEv.Message)
+		emit(panicEv)
+		s.metrics.completed.Add(1)
+		return
+	}
+
+	// Whatever the run deposited is sound even if the stream died or the
+	// run ended in a terminal error — persist the warmth.
+	s.flushTier(key, tier)
+
+	if aborted {
+		return
 	}
 	if terminalErr {
 		s.metrics.completed.Add(1)

@@ -204,6 +204,15 @@ func TestDisconnectFreesSlot(t *testing.T) {
 	if done.Verdicts == 0 {
 		t.Fatal("quick run produced no verdicts")
 	}
+
+	// The disconnect is visible on /metrics as its own counter, distinct
+	// from voluntary cancellation accounting.
+	if got := s.metrics.disconnects.Load(); got != 1 {
+		t.Errorf("portend_disconnects_total = %d, want 1", got)
+	}
+	if !strings.Contains(scrapeMetrics(t, ts.URL), "portend_disconnects_total 1") {
+		t.Error("metrics exposition missing portend_disconnects_total 1")
+	}
 }
 
 // TestRoundRobinFairness drives the dispatcher directly: with one slot

@@ -192,7 +192,7 @@ func TestStaticFactsCachedOnTier(t *testing.T) {
 		t.Errorf("lintRejections = %d, want 2", got)
 	}
 	// Exactly one tier exists for the submission and it holds the facts.
-	n, _, _ := s.tiers.snapshot()
+	n, _, _, _ := s.tiers.snapshot()
 	if n != 1 {
 		t.Errorf("tiers = %d, want 1", n)
 	}

@@ -75,13 +75,16 @@ func keyFor(req *Request, opts core.Options) tierKey {
 
 // tierRegistry is the LRU-bounded map from submission key to its
 // persistent cache tier. Eviction drops whole tiers (their stores and
-// solver memo) — the memory budget is enforced at tier granularity.
+// solver memo) — the memory budget is enforced at tier granularity,
+// against measured tier footprints (core.CacheTier.MemBytes), with the
+// tier-count bound as a hard backstop.
 type tierRegistry struct {
-	mu   sync.Mutex
-	max  int
-	m    map[tierKey]*list.Element
-	lru  list.List // front = most recently used
-	opts core.Options
+	mu          sync.Mutex
+	max         int
+	budgetBytes int64 // measured-footprint budget (0 = count bound only)
+	m           map[tierKey]*list.Element
+	lru         list.List // front = most recently used
+	opts        core.Options
 
 	evictions int64
 }
@@ -91,17 +94,20 @@ type tierEntry struct {
 	tier *core.CacheTier
 }
 
-// newTierRegistry builds a registry holding at most max tiers, each
-// sized by opts' cache bounds (MaxCheckpoints, SolverCacheCeiling).
-func newTierRegistry(max int, opts core.Options) *tierRegistry {
+// newTierRegistry builds a registry holding at most max tiers within
+// budgetBytes of measured footprint, each tier sized by opts' cache
+// bounds (MaxCheckpoints, SolverCacheCeiling).
+func newTierRegistry(max int, budgetBytes int64, opts core.Options) *tierRegistry {
 	if max < 1 {
 		max = 1
 	}
-	return &tierRegistry{max: max, m: make(map[tierKey]*list.Element), opts: opts}
+	return &tierRegistry{max: max, budgetBytes: budgetBytes, m: make(map[tierKey]*list.Element), opts: opts}
 }
 
-// get returns the tier for key, creating it (and evicting the least
-// recently used tier when full) on first sight.
+// get returns the tier for key, creating it on first sight. Creation
+// evicts least-recently-used tiers while the registry is over its count
+// bound or its measured byte budget (the newly created tier is at the
+// LRU front and never evicts itself).
 func (r *tierRegistry) get(key tierKey) (tier *core.CacheTier, created bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -109,7 +115,9 @@ func (r *tierRegistry) get(key tierKey) (tier *core.CacheTier, created bool) {
 		r.lru.MoveToFront(el)
 		return el.Value.(*tierEntry).tier, false
 	}
-	for len(r.m) >= r.max {
+	t := core.NewCacheTier(r.opts)
+	r.m[key] = r.lru.PushFront(&tierEntry{key: key, tier: t})
+	for len(r.m) > 1 && (len(r.m) > r.max || (r.budgetBytes > 0 && r.bytesLocked() > r.budgetBytes)) {
 		oldest := r.lru.Back()
 		if oldest == nil {
 			break
@@ -118,16 +126,58 @@ func (r *tierRegistry) get(key tierKey) (tier *core.CacheTier, created bool) {
 		delete(r.m, oldest.Value.(*tierEntry).key)
 		r.evictions++
 	}
-	t := core.NewCacheTier(r.opts)
-	r.m[key] = r.lru.PushFront(&tierEntry{key: key, tier: t})
 	return t, true
 }
 
-// snapshot sums every resident tier's stats for /metrics.
-func (r *tierRegistry) snapshot() (n int, evictions int64, agg core.TierStats) {
+// evict drops the tier for key (used to poison the tier of a panicking
+// run: a panic mid-deposit may have left its stores inconsistent, so
+// the whole tier is discarded rather than trusted). Reports whether a
+// tier was resident.
+func (r *tierRegistry) evict(key tierKey) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.m[key]
+	if !ok {
+		return false
+	}
+	r.lru.Remove(el)
+	delete(r.m, key)
+	r.evictions++
+	return true
+}
+
+// bytesLocked sums the measured footprint of every resident tier.
+// Callers hold r.mu.
+func (r *tierRegistry) bytesLocked() int64 {
+	var n int64
+	for el := r.lru.Front(); el != nil; el = el.Next() {
+		n += el.Value.(*tierEntry).tier.MemBytes()
+	}
+	return n
+}
+
+// each calls fn for every resident tier, most recently used first,
+// without holding the registry lock during fn (the snapshot of entries
+// is taken under the lock). Used by the drain-time flush.
+func (r *tierRegistry) each(fn func(key tierKey, t *core.CacheTier)) {
+	r.mu.Lock()
+	ents := make([]*tierEntry, 0, len(r.m))
+	for el := r.lru.Front(); el != nil; el = el.Next() {
+		ents = append(ents, el.Value.(*tierEntry))
+	}
+	r.mu.Unlock()
+	for _, e := range ents {
+		fn(e.key, e.tier)
+	}
+}
+
+// snapshot sums every resident tier's stats and measured bytes for
+// /metrics.
+func (r *tierRegistry) snapshot() (n int, evictions int64, bytes int64, agg core.TierStats) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for el := r.lru.Front(); el != nil; el = el.Next() {
+		bytes += el.Value.(*tierEntry).tier.MemBytes()
 		s := el.Value.(*tierEntry).tier.Stats()
 		agg.Checkpoints += s.Checkpoints
 		agg.CheckpointHits += s.CheckpointHits
@@ -146,5 +196,5 @@ func (r *tierRegistry) snapshot() (n int, evictions int64, agg core.TierStats) {
 		agg.SolverCap += s.SolverCap
 		agg.SolverResizes += s.SolverResizes
 	}
-	return len(r.m), r.evictions, agg
+	return len(r.m), r.evictions, bytes, agg
 }

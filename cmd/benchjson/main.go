@@ -15,6 +15,11 @@
 // (default 2x, generous enough to absorb runner variance) fails the run
 // with exit status 1 — the CI guard that keeps the perf trajectory from
 // silently regressing.
+//
+// With -improve FRAG[,FRAG...] (alongside -compare) the named
+// benchmarks must additionally *strictly improve* on both ns/op and
+// allocs/op — the gate a PR uses to prove a claimed optimisation
+// actually landed, not merely avoided the regression threshold.
 package main
 
 import (
@@ -51,6 +56,7 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	compare := flag.String("compare", "", "baseline BENCH_*.json; fail on regressions past -threshold")
 	threshold := flag.Float64("threshold", 2.0, "regression factor tolerated against -compare baseline")
+	improve := flag.String("improve", "", "comma-separated benchmark name fragments that must strictly improve (ns/op AND allocs/op) vs the -compare baseline")
 	flag.Parse()
 
 	doc := Doc{Label: *label}
@@ -96,7 +102,11 @@ func main() {
 	}
 
 	if *compare != "" {
-		if !compareBaseline(doc, *compare, *threshold) {
+		ok := compareBaseline(doc, *compare, *threshold)
+		if *improve != "" && !checkImproved(doc, *compare, *improve) {
+			ok = false
+		}
+		if !ok {
 			os.Exit(1)
 		}
 	}
@@ -168,6 +178,69 @@ func compareBaseline(doc Doc, path string, factor float64) bool {
 	if checked == 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: compare: no gated benchmarks shared with %s\n", path)
 		return false
+	}
+	return ok
+}
+
+// checkImproved enforces the strict-improvement gate: every benchmark
+// matching one of the comma-separated fragments must beat the baseline
+// on BOTH ns/op and allocs/op (not merely stay inside the regression
+// threshold). Unlike compareBaseline's skip-on-missing policy, a
+// fragment that matches nothing on either side is an error — a renamed
+// benchmark must not silently disarm the gate.
+func checkImproved(doc Doc, path, frags string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: improve:", err)
+		return false
+	}
+	var base Doc
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: improve: %s: %v\n", path, err)
+		return false
+	}
+	ref := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		ref[baseName(b.Name)] = b
+	}
+	ok := true
+	for _, frag := range strings.Split(frags, ",") {
+		frag = strings.TrimSpace(frag)
+		if frag == "" {
+			continue
+		}
+		matched := 0
+		for _, b := range doc.Benchmarks {
+			if !strings.Contains(b.Name, frag) {
+				continue
+			}
+			want, found := ref[baseName(b.Name)]
+			if !found {
+				continue
+			}
+			matched++
+			if b.NsPerOp >= want.NsPerOp {
+				fmt.Fprintf(os.Stderr, "benchjson: NOT IMPROVED %s: %.0f ns/op vs baseline %.0f (must be strictly faster)\n",
+					b.Name, b.NsPerOp, want.NsPerOp)
+				ok = false
+			}
+			switch {
+			case b.AllocsPerOp == nil || want.AllocsPerOp == nil:
+				fmt.Fprintf(os.Stderr, "benchjson: NOT IMPROVED %s: allocs/op missing (run with -benchmem on both sides)\n", b.Name)
+				ok = false
+			case *b.AllocsPerOp >= *want.AllocsPerOp:
+				fmt.Fprintf(os.Stderr, "benchjson: NOT IMPROVED %s: %.0f allocs/op vs baseline %.0f (must be strictly fewer)\n",
+					b.Name, *b.AllocsPerOp, *want.AllocsPerOp)
+				ok = false
+			default:
+				fmt.Fprintf(os.Stderr, "benchjson: improved %s: %.0f ns/op vs %.0f, %.0f allocs/op vs %.0f\n",
+					b.Name, b.NsPerOp, want.NsPerOp, *b.AllocsPerOp, *want.AllocsPerOp)
+			}
+		}
+		if matched == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: improve: no benchmark matching %q shared with %s\n", frag, path)
+			ok = false
+		}
 	}
 	return ok
 }

@@ -24,10 +24,14 @@
 //     forks, so explorations of later races resume past the
 //     symbolic-input frontier.
 //
-// Entries are immutable after Add: both Add and Resume hand out deep
-// clones (vm.State.Clone and vm.CloneableController.CloneCtl), so any
+// Entries are immutable after Add: both Add and Resume hand out private
+// snapshots (vm.State.Clone and vm.CloneableController.CloneCtl), so any
 // number of classification workers can resume from one entry
-// concurrently. Correctness requirements — the snapshot must lie on the
+// concurrently. Since the state moved to persistent copy-on-write
+// structures a snapshot is O(1) — a pointer-sized State header plus a
+// fresh epoch — and isolation comes from the VM's write barriers, not
+// from copying: the stored entry and every resumed clone share structure
+// until one of them writes. Correctness requirements — the snapshot must lie on the
 // recorded replay path, and its observers must carry everything the
 // resuming analysis needs about the skipped prefix — are the caller's
 // responsibility; the accept callback of Resume is where the caller
@@ -269,7 +273,9 @@ func (s *Store) Stride() int64 {
 }
 
 // Add snapshots st (at st.Steps) together with its controller. Both are
-// deep-cloned, so the caller keeps running its own copies untouched. An
+// cloned copy-on-write (O(1), not a deep copy), so the caller keeps
+// running its own copies untouched while the stored entry stays frozen
+// behind the state's write barriers. An
 // entry at the same step count already present, one closer than the
 // thinning stride to an existing neighbor, or one a capacity thinning
 // could not make room for, makes Add a no-op — and a refused Add never
@@ -505,7 +511,8 @@ func (s *SymStore) Stride() int64 {
 
 // Add snapshots the exploration mainline st (at st.Steps) with its
 // controller, the pending fork queue, and the prefix's exploration
-// counters. Everything is deep-cloned. Admission follows the same rules
+// counters. Everything is cloned copy-on-write — snapshots cost O(1)
+// plus O(pending forks). Admission follows the same rules
 // as Store.Add (duplicate/stride rejection is cheap and happens before
 // any cloning; thinning is transactional); additionally, if the mainline
 // controller or any pending fork's controller is not cloneable the

@@ -249,11 +249,15 @@ type Options struct {
 
 // DefaultDetectCheckpointEvery is the default initial cadence of the
 // detection pass's periodic replay checkpoints (the cadence doubles
-// after each one, so a T-instruction trace deposits ~log2(T/512) of
-// them). It trades a handful of state clones against the replay length
-// the first classification of each trace region saves; 512 steps keeps
-// even short traces covered ahead of their first race.
-const DefaultDetectCheckpointEvery = 512
+// after each one, so a T-instruction trace deposits ~log2(T/64) of
+// them). With copy-on-write State.Clone a deposit costs one allocation,
+// so the default starts dense: a 64-step initial window covers even the
+// shortest traces ahead of their first race, and the geometric doubling
+// still bounds the total deposit count logarithmically. The cadence only
+// changes where snapshots are taken, never what the analysis computes —
+// verdicts are byte-identical across cadences (asserted by
+// TestDenseCadenceVerdictsMatchGeometric).
+const DefaultDetectCheckpointEvery = 64
 
 // DefaultOptions returns the configuration used throughout the
 // evaluation: Mp=5, Ma=2, 2 symbolic inputs (§5), with the analysis
@@ -334,6 +338,16 @@ type Stats struct {
 	// ran, so they may vary with pool width while the verdict does not.
 	FusedOps       int64
 	InternedConsts int64
+
+	// CloneAllocs / CloneBytes meter State.Clone across this
+	// classification's machines: how many allocations and bytes the
+	// copy-on-write snapshots themselves cost (checkpoint deposits and
+	// resumes, enforcement forks, multi-path siblings). This replaces
+	// the old per-clone cost model: snapshot cost is now measured, not
+	// estimated. Like FusedOps it scales with speculative work, so it
+	// may vary with pool width while the verdict does not.
+	CloneAllocs int64
+	CloneBytes  int64
 
 	// SolverCacheEvictions counts entries the shared solver memo evicted
 	// (LRU) while this race classified. The cache is run-wide, so under a

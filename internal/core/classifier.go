@@ -63,6 +63,10 @@ func (c *Classifier) newMachine(st *vm.State, ctl vm.Controller) *vm.Machine {
 	m := vm.NewMachine(st, ctl)
 	m.Interrupt = c.interrupt
 	m.Counters = &c.vmCounters
+	// The state (and every state cloned from it) meters its Clone costs
+	// into the same counters, so Stats.CloneAllocs/CloneBytes cover the
+	// checkpoint deposits and forks this classification performs.
+	st.SetCounters(&c.vmCounters)
 	return m
 }
 
@@ -194,6 +198,7 @@ type statsSnap struct {
 	sibMemoHits, resizes                             int
 	prunedSchedules, pathItemsRun                    int
 	fused, interned                                  int64
+	cloneAllocs, cloneBytes                          int64
 }
 
 func (c *Classifier) snapStats() statsSnap {
@@ -207,6 +212,8 @@ func (c *Classifier) snapStats() statsSnap {
 		pathItemsRun:    c.pathItemsRun,
 		fused:           c.vmCounters.FusedOps.Load(),
 		interned:        c.vmCounters.InternedConsts.Load(),
+		cloneAllocs:     c.vmCounters.CloneAllocs.Load(),
+		cloneBytes:      c.vmCounters.CloneBytes.Load(),
 	}
 	if c.sol.Cache != nil {
 		s.evictions = c.sol.Cache.Evictions()
@@ -225,6 +232,8 @@ func (c *Classifier) finishStats(v *Verdict, mp *mpResult, snap statsSnap, start
 	v.Stats.PathItemsRun = c.pathItemsRun - snap.pathItemsRun
 	v.Stats.FusedOps = c.vmCounters.FusedOps.Load() - snap.fused
 	v.Stats.InternedConsts = c.vmCounters.InternedConsts.Load() - snap.interned
+	v.Stats.CloneAllocs = c.vmCounters.CloneAllocs.Load() - snap.cloneAllocs
+	v.Stats.CloneBytes = c.vmCounters.CloneBytes.Load() - snap.cloneBytes
 	if c.sol.Cache != nil {
 		v.Stats.SolverCacheEvictions = c.sol.Cache.Evictions() - snap.evictions
 		v.Stats.SolverCacheCap = c.sol.Cache.Cap()
@@ -276,9 +285,7 @@ func (c *Classifier) newRootState(tr *trace.Trace, symbolic bool) *vm.State {
 	if symbolic {
 		st.In.NSymbolic = c.Opts.SymbolicInputs
 		for _, i := range c.Opts.SymbolicArgs {
-			if i >= 0 && i < len(st.SymArgs) {
-				st.SymArgs[i] = true
-			}
+			st.MarkSymArg(i)
 		}
 	}
 	if len(c.Opts.Predicates) > 0 {

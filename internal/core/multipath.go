@@ -165,9 +165,7 @@ func (c *Classifier) multipathRoot(rep *race.Report, tr *trace.Trace) exploratio
 			// the accepted prefix consumed none of them.
 			st.In.NSymbolic = c.Opts.SymbolicInputs
 			for _, i := range c.Opts.SymbolicArgs {
-				if i >= 0 && i < len(st.SymArgs) {
-					st.SymArgs[i] = true
-				}
+				st.MarkSymArg(i)
 			}
 			return explorationRoot{item: &pathItem{st: st, ctl: ctl, skipped: steps, mainline: true}}
 		}

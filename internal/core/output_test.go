@@ -50,7 +50,7 @@ func symState(t *testing.T, outs []vm.Output, pc []expr.Expr, hints expr.Assignm
 	st.Outputs = outs
 	st.PathCond = pc
 	for k, v := range hints {
-		st.Hints[k] = v
+		st.SetHint(k, v)
 	}
 	return st
 }

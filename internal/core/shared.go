@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bytecode"
 	"repro/internal/ckpt"
@@ -123,13 +124,35 @@ type objClass struct {
 // records which object classes have been touched at all (reads or
 // writes); a checkpoint is a safe multi-path resume point for a race
 // only if its prefix never touched the racy object.
+// Cloning is copy-on-write: CloneObs shares the maps and marks both
+// sides shared, and the first access on either side copies them (own) —
+// checkpoint deposits of replay states clone this observer constantly
+// and read it rarely.
 type accessCounter struct {
 	reads   map[counterKey]int
 	touched map[objClass]bool
+	shared  uint32 // atomic; 1 while the maps may be shared with a clone
 }
 
 func newAccessCounter() *accessCounter {
 	return &accessCounter{reads: map[counterKey]int{}, touched: map[objClass]bool{}}
+}
+
+// own copies the maps if a clone may still reference them.
+func (ac *accessCounter) own() {
+	if atomic.LoadUint32(&ac.shared) == 0 {
+		return
+	}
+	reads := make(map[counterKey]int, len(ac.reads))
+	for k, v := range ac.reads {
+		reads[k] = v
+	}
+	touched := make(map[objClass]bool, len(ac.touched))
+	for k, v := range ac.touched {
+		touched[k] = v
+	}
+	ac.reads, ac.touched = reads, touched
+	atomic.StoreUint32(&ac.shared, 0)
 }
 
 func normObj(space vm.Space, obj int64) int64 {
@@ -141,6 +164,7 @@ func normObj(space vm.Space, obj int64) int64 {
 
 // OnAccess implements vm.Observer.
 func (ac *accessCounter) OnAccess(st *vm.State, tid int, loc vm.Loc, write bool, pc bytecode.PCRef, tInstr int64) {
+	ac.own()
 	obj := normObj(loc.Space, loc.Obj)
 	ac.touched[objClass{loc.Space, obj}] = true
 	if !write {
@@ -151,16 +175,10 @@ func (ac *accessCounter) OnAccess(st *vm.State, tid int, loc vm.Loc, write bool,
 // OnSync implements vm.Observer (no-op).
 func (ac *accessCounter) OnSync(st *vm.State, ev vm.SyncEvent) {}
 
-// CloneObs implements vm.Observer.
+// CloneObs implements vm.Observer; O(1), see the type comment.
 func (ac *accessCounter) CloneObs() vm.Observer {
-	n := newAccessCounter()
-	for k, v := range ac.reads {
-		n.reads[k] = v
-	}
-	for k, v := range ac.touched {
-		n.touched[k] = v
-	}
-	return n
+	atomic.StoreUint32(&ac.shared, 1)
+	return &accessCounter{reads: ac.reads, touched: ac.touched, shared: 1}
 }
 
 // readsAt projects the read count of one race's object class at (tid,
@@ -179,27 +197,34 @@ func (ac *accessCounter) touchedObj(space vm.Space, obj int64) bool {
 // so a completed pending-fork run can be summarized as "touched these
 // objects, decided this many branches" and skipped by later explorations
 // whose racy object is not in the set.
+// It copy-on-writes its map the same way accessCounter does.
 type touchTrack struct {
 	touched map[objClass]bool
+	shared  uint32 // atomic; 1 while the map may be shared with a clone
 }
 
 func newTouchTrack() *touchTrack { return &touchTrack{touched: map[objClass]bool{}} }
 
 // OnAccess implements vm.Observer.
 func (t *touchTrack) OnAccess(st *vm.State, tid int, loc vm.Loc, write bool, pc bytecode.PCRef, tInstr int64) {
+	if atomic.LoadUint32(&t.shared) != 0 {
+		touched := make(map[objClass]bool, len(t.touched))
+		for k, v := range t.touched {
+			touched[k] = v
+		}
+		t.touched = touched
+		atomic.StoreUint32(&t.shared, 0)
+	}
 	t.touched[objClass{loc.Space, normObj(loc.Space, loc.Obj)}] = true
 }
 
 // OnSync implements vm.Observer (no-op).
 func (t *touchTrack) OnSync(st *vm.State, ev vm.SyncEvent) {}
 
-// CloneObs implements vm.Observer.
+// CloneObs implements vm.Observer; O(1), see accessCounter.
 func (t *touchTrack) CloneObs() vm.Observer {
-	n := newTouchTrack()
-	for k, v := range t.touched {
-		n.touched[k] = v
-	}
-	return n
+	atomic.StoreUint32(&t.shared, 1)
+	return &touchTrack{touched: t.touched, shared: 1}
 }
 
 // list renders the touched set as ckpt's wire form, sorted so the memo

@@ -152,7 +152,7 @@ func (e *Engine) RunForking(m *vm.Machine, budget int64, onFork func(sib *vm.Sta
 				if sat == solver.Sat && e.forks.TryAcquire() {
 					sib := st.Clone()
 					for name, v := range model {
-						sib.Hints[name] = v
+						sib.SetHint(name, v)
 					}
 					// Commit the sibling past the branch under its new
 					// hints so it cannot re-fork the same point. A JZ is

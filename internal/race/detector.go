@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/bytecode"
 	"repro/internal/vm"
@@ -101,7 +102,11 @@ type locState struct {
 
 // Detector is a happens-before race detector implementing vm.Observer.
 // Its entire state is cloneable, so it forks along with execution states
-// during multi-path analysis.
+// during multi-path analysis. Cloning is copy-on-write: CloneObs only
+// marks both detectors shared, and the first mutation on either side
+// deep-copies the tables (own) — so detection deposits, which clone the
+// state (and its observers) every few hundred instructions, pay nothing
+// for detectors that are never written again.
 type Detector struct {
 	vcs      map[int]VectorClock
 	mutexVC  map[int]VectorClock
@@ -109,6 +114,12 @@ type Detector struct {
 	locs     map[vm.Loc]*locState
 	clusters map[ClusterKey]*Report
 	order    []ClusterKey // report order, deterministic
+
+	// shared is 1 while the tables above may be referenced by another
+	// detector (set by CloneObs on both sides, cleared by own). It is
+	// accessed atomically: concurrent CloneObs calls on one parked state
+	// must not race with each other.
+	shared uint32
 
 	// OnNew, when non-nil, is invoked synchronously (from inside the
 	// racing access's OnAccess notification) each time a new race cluster
@@ -150,6 +161,49 @@ func (d *Detector) TotalInstances() int {
 	return n
 }
 
+// own deep-copies the tables if they are still shared with another
+// detector. Every mutating entry point calls it first; read-only methods
+// (Reports, TotalInstances) never do, so an unmutated clone chain shares
+// one set of tables end to end.
+func (d *Detector) own() {
+	if atomic.LoadUint32(&d.shared) == 0 {
+		return
+	}
+	vcs := make(map[int]VectorClock, len(d.vcs))
+	for k, v := range d.vcs {
+		vcs[k] = v.Copy()
+	}
+	mutexVC := make(map[int]VectorClock, len(d.mutexVC))
+	for k, v := range d.mutexVC {
+		mutexVC[k] = v.Copy()
+	}
+	exitVC := make(map[int]VectorClock, len(d.exitVC))
+	for k, v := range d.exitVC {
+		exitVC[k] = v.Copy()
+	}
+	locs := make(map[vm.Loc]*locState, len(d.locs))
+	for loc, ls := range d.locs {
+		nl := &locState{reads: make(map[int]*Access, len(ls.reads))}
+		if ls.lastWrite != nil {
+			w := *ls.lastWrite
+			nl.lastWrite = &w
+		}
+		for t, a := range ls.reads {
+			c := *a
+			nl.reads[t] = &c
+		}
+		locs[loc] = nl
+	}
+	clusters := make(map[ClusterKey]*Report, len(d.clusters))
+	for k, r := range d.clusters {
+		c := *r
+		clusters[k] = &c
+	}
+	d.vcs, d.mutexVC, d.exitVC, d.locs, d.clusters = vcs, mutexVC, exitVC, locs, clusters
+	d.order = append([]ClusterKey(nil), d.order...)
+	atomic.StoreUint32(&d.shared, 0)
+}
+
 func (d *Detector) vcOf(tid int) VectorClock {
 	vc, ok := d.vcs[tid]
 	if !ok {
@@ -162,6 +216,7 @@ func (d *Detector) vcOf(tid int) VectorClock {
 // OnAccess implements vm.Observer: the FastTrack-style happens-before
 // check against the last write and the concurrent reads of the location.
 func (d *Detector) OnAccess(st *vm.State, tid int, loc vm.Loc, write bool, pc bytecode.PCRef, tInstr int64) {
+	d.own()
 	vc := d.vcOf(tid)
 	cur := &Access{TID: tid, Write: write, PC: pc, TInstr: tInstr, Clock: vc.Get(tid), Global: st.Steps}
 	ls := d.locs[loc]
@@ -205,6 +260,7 @@ func (d *Detector) OnAccess(st *vm.State, tid int, loc vm.Loc, write bool, pc by
 // OnSync implements vm.Observer: maintains the happens-before relation
 // over spawn/join/lock/unlock/signal/barrier.
 func (d *Detector) OnSync(st *vm.State, ev vm.SyncEvent) {
+	d.own()
 	switch ev.Kind {
 	case vm.EvSpawn:
 		parent := d.vcOf(ev.TID)
@@ -241,36 +297,21 @@ func (d *Detector) OnSync(st *vm.State, ev vm.SyncEvent) {
 	}
 }
 
-// CloneObs implements vm.Observer.
+// CloneObs implements vm.Observer. It is O(1): the clone shares the
+// source's tables and both sides are marked shared, deferring the deep
+// copy to whichever side mutates first (own). OnNew is intentionally not
+// copied — see its field comment.
 func (d *Detector) CloneObs() vm.Observer {
-	n := NewDetector()
-	for k, v := range d.vcs {
-		n.vcs[k] = v.Copy()
+	atomic.StoreUint32(&d.shared, 1)
+	return &Detector{
+		vcs:      d.vcs,
+		mutexVC:  d.mutexVC,
+		exitVC:   d.exitVC,
+		locs:     d.locs,
+		clusters: d.clusters,
+		order:    d.order[:len(d.order):len(d.order)],
+		shared:   1,
 	}
-	for k, v := range d.mutexVC {
-		n.mutexVC[k] = v.Copy()
-	}
-	for k, v := range d.exitVC {
-		n.exitVC[k] = v.Copy()
-	}
-	for loc, ls := range d.locs {
-		nl := &locState{reads: map[int]*Access{}}
-		if ls.lastWrite != nil {
-			w := *ls.lastWrite
-			nl.lastWrite = &w
-		}
-		for t, a := range ls.reads {
-			c := *a
-			nl.reads[t] = &c
-		}
-		n.locs[loc] = nl
-	}
-	for k, r := range d.clusters {
-		c := *r
-		n.clusters[k] = &c
-	}
-	n.order = append([]ClusterKey(nil), d.order...)
-	return n
 }
 
 // SortReports orders reports deterministically by location then pcs; used

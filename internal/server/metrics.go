@@ -21,6 +21,7 @@ type metrics struct {
 	lintRejections  atomic.Int64 // rejected at admission by static lint (422)
 	staticClean     atomic.Int64 // statically race-free fast-path answers
 	prunedSchedules atomic.Int64 // worklist items the static prune skipped
+	cloneAllocs     atomic.Int64 // allocations spent on COW state snapshots
 
 	runPanics   atomic.Int64 // runs ended by the panic recover boundary
 	disconnects atomic.Int64 // requests whose client went away mid-flight
@@ -64,6 +65,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		s.metrics.staticClean.Load())
 	g("portend_pruned_schedules_total", "Multi-path worklist items skipped by the static dead-item prune.", "counter",
 		s.metrics.prunedSchedules.Load())
+	g("portend_state_clone_allocs_total", "Allocations spent on copy-on-write VM state snapshots (State.Clone).", "counter",
+		s.metrics.cloneAllocs.Load())
 	g("portend_run_panics_total", "Runs that panicked and were isolated by the recover boundary.", "counter",
 		s.metrics.runPanics.Load())
 	g("portend_disconnects_total", "Requests whose client disconnected mid-flight (queued or streaming).", "counter",

@@ -175,6 +175,13 @@ type DoneInfo struct {
 	// PrunedSchedules sums the exploration worklist items the static
 	// prune skipped across this run's verdicts.
 	PrunedSchedules int `json:"prunedSchedules,omitempty"`
+
+	// CloneAllocs and CloneBytes sum the copy-on-write snapshot meter
+	// across this run's verdicts: allocations and bytes State.Clone
+	// itself spent (checkpoint deposits, enforcement forks, exploration
+	// siblings). Throughput accounting; never affects a verdict.
+	CloneAllocs int64 `json:"cloneAllocs,omitempty"`
+	CloneBytes  int64 `json:"cloneBytes,omitempty"`
 }
 
 // TierInfo is the wire form of a cache tier's population and traffic.

@@ -499,6 +499,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 				done.PrunedSchedules += n
 				s.metrics.prunedSchedules.Add(int64(n))
 			}
+			if n := v.Stats.CloneAllocs; n > 0 {
+				done.CloneAllocs += n
+				s.metrics.cloneAllocs.Add(n)
+			}
+			if n := v.Stats.CloneBytes; n > 0 {
+				done.CloneBytes += n
+			}
 			ev := Event{Type: EventVerdict, Verdict: raw, Summary: v.String()}
 			if req.Verbose {
 				ev.Report = v.DebugReport()

@@ -138,17 +138,14 @@ func EncodeState(st *State, encObs ObsEncoder) (w *StateWire, ok bool) {
 		w.Globals[i] = enc.AddList(cells)
 	}
 
-	if len(st.Heap) > 0 {
-		refs := make([]int64, 0, len(st.Heap))
-		for r := range st.Heap {
-			refs = append(refs, r)
-		}
-		sort.Slice(refs, func(i, j int) bool { return refs[i] < refs[j] })
-		w.Heap = make([]HeapBlockWire, len(refs))
-		for i, r := range refs {
-			blk := st.Heap[r]
-			w.Heap[i] = HeapBlockWire{Ref: r, Cells: enc.AddList(blk.Cells), Freed: blk.Freed}
-		}
+	// The heap trie iterates in ref order by construction, which is
+	// exactly the sorted order the canonical wire form requires.
+	if n := st.HeapLen(); n > 0 {
+		w.Heap = make([]HeapBlockWire, 0, n)
+		st.rangeHeap(func(ref int64, blk *HeapBlock) bool {
+			w.Heap = append(w.Heap, HeapBlockWire{Ref: ref, Cells: enc.AddList(blk.Cells), Freed: blk.Freed})
+			return true
+		})
 	}
 
 	w.MutexOwners = make([]int, len(st.Mutexes))
@@ -259,17 +256,18 @@ func DecodeState(prog *bytecode.Program, w *StateWire, decObs ObsDecoder) (*Stat
 		}
 	}
 
-	if len(w.Heap) > 0 {
-		st.Heap = make(map[int64]*HeapBlock, len(w.Heap))
-		for _, hb := range w.Heap {
-			c, err := cells(hb.Cells)
-			if err != nil {
-				return nil, err
-			}
-			st.Heap[hb.Ref] = &HeapBlock{Cells: c, Freed: hb.Freed}
+	// Heap refs are dense from 1 (FREE marks, never deletes), so the
+	// sorted wire blocks rebuild the trie by straight appends. A sparse
+	// or unsorted payload is a corrupt or foreign snapshot.
+	for i, hb := range w.Heap {
+		if hb.Ref != int64(i)+1 {
+			return nil, fmt.Errorf("vm: heap wire block %d has ref %d, want dense ref %d", i, hb.Ref, i+1)
 		}
-	} else {
-		st.Heap = map[int64]*HeapBlock{}
+		c, err := cells(hb.Cells)
+		if err != nil {
+			return nil, err
+		}
+		st.heap.Append(&HeapBlock{Cells: c, Freed: hb.Freed}, 0)
 	}
 
 	st.Mutexes = make([]mutexState, len(w.MutexOwners))
@@ -379,9 +377,10 @@ func (st *State) MemEstimate() int64 {
 	for _, cells := range st.Globals {
 		n += int64(len(cells)) * memCell
 	}
-	for _, blk := range st.Heap {
+	st.rangeHeap(func(_ int64, blk *HeapBlock) bool {
 		n += memMapEntry + int64(len(blk.Cells))*memCell
-	}
+		return true
+	})
 	for _, t := range st.Threads {
 		n += memThread
 		for _, f := range t.Frames {

@@ -17,4 +17,12 @@ type Counters struct {
 	// behalf of executed PUSH instructions and fused constants — the
 	// allocations the intern table removed from the hot path.
 	InternedConsts atomic.Int64
+	// CloneAllocs / CloneBytes meter State.Clone itself: how many
+	// allocations and bytes the snapshots of this analysis cost (the
+	// persistent representation's price, not the states' footprints).
+	// States attached via State.SetCounters add directly; Clone is on
+	// checkpoint paths, not the instruction path, so the atomic adds are
+	// off the interpreter's hot loop.
+	CloneAllocs atomic.Int64
+	CloneBytes  atomic.Int64
 }

@@ -218,6 +218,14 @@ func (m *Machine) run(budget int64) RunResult {
 			return RunResult{Kind: StopBudget, Steps: steps}
 		}
 
+		// The instruction will now execute: privatize the current thread
+		// and its top frame (stamp comparisons — no copies — when already
+		// owned this epoch) so the in-place register/stack/PC writes below
+		// land on structure this state owns. Other layers privatize at
+		// their write sites in exec.
+		th = st.wthread(cur)
+		fr = st.wtop(th)
+
 		// Superinstruction fast path: execute a whole fused sequence in
 		// one dispatch. Interior instructions are thread-local and side-
 		// effect-free (no sync ops, shared accesses, jumps, or failure
@@ -427,6 +435,7 @@ func (m *Machine) exec(th *Thread, fr *Frame, in bytecode.Instr, pcref bytecode.
 			return false, err
 		}
 		st.notifyAccess(tid, Loc{Space: SpaceGlobal, Obj: in.A}, true, pcref, th.Instrs)
+		st.wglobals()
 		st.Globals[in.A][0] = v
 		fr.PC++
 		return true, nil
@@ -460,7 +469,8 @@ func (m *Machine) exec(th *Thread, fr *Frame, in bytecode.Instr, pcref bytecode.
 			fr.Stack = append(fr.Stack, cells[idx])
 		} else {
 			st.notifyAccess(tid, loc, true, pcref, th.Instrs)
-			cells[idx] = val
+			st.wglobals()
+			st.Globals[in.A][idx] = val
 		}
 		fr.PC++
 		return true, nil
@@ -477,16 +487,15 @@ func (m *Machine) exec(th *Thread, fr *Frame, in bytecode.Instr, pcref bytecode.
 		if n <= 0 || n > maxAllocCells {
 			return false, st.fail(ErrAllocSize, tid, pcref, fmt.Sprintf("alloc(%d)", n))
 		}
-		ref := st.NextRef
-		st.NextRef++
 		cells := make([]expr.Expr, n)
 		for i := range cells {
 			cells[i] = expr.NewConst(0)
 		}
-		if st.Heap == nil {
-			st.Heap = map[int64]*HeapBlock{} // clones of heap-free states carry a nil map
-		}
-		st.Heap[ref] = &HeapBlock{Cells: cells}
+		// Heap refs are dense and never reused (FREE marks, it does not
+		// delete), so the new block's ref is exactly the trie's next
+		// index; NextRef is kept as the serialized form of that cursor.
+		ref := st.allocBlock(cells)
+		st.NextRef = ref + 1
 		fr.Stack = append(fr.Stack, expr.NewConst(ref))
 		fr.PC++
 		return true, nil
@@ -500,15 +509,15 @@ func (m *Machine) exec(th *Thread, fr *Frame, in bytecode.Instr, pcref bytecode.
 		if err != nil {
 			return false, err
 		}
-		blk, ok := st.Heap[ref]
-		if !ok {
+		blk := st.heapBlock(ref)
+		if blk == nil {
 			return false, st.fail(ErrBadRef, tid, pcref, fmt.Sprintf("free(%d)", ref))
 		}
 		st.notifyAccess(tid, Loc{Space: SpaceHeap, Obj: ref}, true, pcref, th.Instrs)
 		if blk.Freed {
 			return false, st.fail(ErrDoubleFree, tid, pcref, fmt.Sprintf("free(%d)", ref))
 		}
-		blk.Freed = true
+		st.wblock(ref, blk).Freed = true
 		fr.PC++
 		return true, nil
 
@@ -537,8 +546,8 @@ func (m *Machine) exec(th *Thread, fr *Frame, in bytecode.Instr, pcref bytecode.
 		if err != nil {
 			return false, err
 		}
-		blk, ok := st.Heap[ref]
-		if !ok {
+		blk := st.heapBlock(ref)
+		if blk == nil {
 			return false, st.fail(ErrBadRef, tid, pcref, fmt.Sprintf("heap ref %d", ref))
 		}
 		if blk.Freed {
@@ -555,7 +564,7 @@ func (m *Machine) exec(th *Thread, fr *Frame, in bytecode.Instr, pcref bytecode.
 			fr.Stack = append(fr.Stack, blk.Cells[idx])
 		} else {
 			st.notifyAccess(tid, loc, true, pcref, th.Instrs)
-			blk.Cells[idx] = val
+			st.wblock(ref, blk).Cells[idx] = val
 		}
 		fr.PC++
 		return true, nil
@@ -643,7 +652,7 @@ func (m *Machine) exec(th *Thread, fr *Frame, in bytecode.Instr, pcref bytecode.
 		copy(locals, fr.Stack[len(fr.Stack)-n:])
 		fr.Stack = fr.Stack[:len(fr.Stack)-n]
 		fr.PC++
-		th.Frames = append(th.Frames, &Frame{Fn: int(in.A), Locals: locals})
+		th.Frames = append(th.Frames, st.newFrame(int(in.A), locals))
 		return true, nil
 
 	case bytecode.RET:
@@ -655,11 +664,12 @@ func (m *Machine) exec(th *Thread, fr *Frame, in bytecode.Instr, pcref bytecode.
 		if len(th.Frames) == 0 {
 			th.Status = ThExited
 			st.notifySync(SyncEvent{Kind: EvExit, TID: tid})
-			// Wake joiners.
-			for _, t := range st.Threads {
-				if t.Status == ThBlockedJoin && t.WaitJoin == tid {
-					t.Status = ThRunnable
-					t.WaitJoin = -1
+			// Wake joiners, privatizing each woken thread first.
+			for i := range st.Threads {
+				if t := st.Threads[i]; t.Status == ThBlockedJoin && t.WaitJoin == tid {
+					wt := st.wthread(i)
+					wt.Status = ThRunnable
+					wt.WaitJoin = -1
 				}
 			}
 			if tid == 0 {
@@ -667,7 +677,7 @@ func (m *Machine) exec(th *Thread, fr *Frame, in bytecode.Instr, pcref bytecode.
 			}
 			return true, nil
 		}
-		top := th.Top()
+		top := st.wtop(th) // caller frame: receives the return value
 		top.Stack = append(top.Stack, v)
 		return true, nil
 
@@ -685,8 +695,9 @@ func (m *Machine) exec(th *Thread, fr *Frame, in bytecode.Instr, pcref bytecode.
 		fr.Stack = fr.Stack[:len(fr.Stack)-n]
 		child := &Thread{
 			ID: len(st.Threads), Status: ThRunnable,
-			Frames:    []*Frame{{Fn: int(in.A), Locals: locals}},
+			Frames:    []*Frame{st.newFrame(int(in.A), locals)},
 			WaitMutex: -1, WaitCond: -1, WaitJoin: -1, WaitBarrier: -1,
+			stamp: st.epoch,
 		}
 		st.Threads = append(st.Threads, child)
 		fr.Stack = append(fr.Stack, expr.NewConst(int64(child.ID)))
@@ -717,12 +728,13 @@ func (m *Machine) exec(th *Thread, fr *Frame, in bytecode.Instr, pcref bytecode.
 		return true, nil
 
 	case bytecode.LOCK:
-		mu := &st.Mutexes[in.A]
-		if mu.Owner == tid {
+		owner := st.Mutexes[in.A].Owner
+		if owner == tid {
 			return false, st.fail(ErrRelock, tid, pcref, p.Mutexes[in.A])
 		}
-		if mu.Owner == -1 {
-			mu.Owner = tid
+		if owner == -1 {
+			st.wsync()
+			st.Mutexes[in.A].Owner = tid
 			fr.PC++
 			st.notifySync(SyncEvent{Kind: EvAcquire, TID: tid, Obj: int(in.A)})
 			return true, nil
@@ -732,8 +744,7 @@ func (m *Machine) exec(th *Thread, fr *Frame, in bytecode.Instr, pcref bytecode.
 		return false, nil
 
 	case bytecode.UNLOCK:
-		mu := &st.Mutexes[in.A]
-		if mu.Owner != tid {
+		if st.Mutexes[in.A].Owner != tid {
 			return false, st.fail(ErrUnlockNotOwned, tid, pcref, p.Mutexes[in.A])
 		}
 		m.unlockMutex(int(in.A), tid)
@@ -744,9 +755,9 @@ func (m *Machine) exec(th *Thread, fr *Frame, in bytecode.Instr, pcref bytecode.
 		condID, mutID := int(in.A), int(in.B)
 		if th.WaitPhase == 1 {
 			// Reacquire phase after being signaled.
-			mu := &st.Mutexes[mutID]
-			if mu.Owner == -1 {
-				mu.Owner = tid
+			if st.Mutexes[mutID].Owner == -1 {
+				st.wsync()
+				st.Mutexes[mutID].Owner = tid
 				th.WaitPhase = 0
 				fr.PC++
 				st.notifySync(SyncEvent{Kind: EvAcquire, TID: tid, Obj: mutID})
@@ -767,21 +778,24 @@ func (m *Machine) exec(th *Thread, fr *Frame, in bytecode.Instr, pcref bytecode.
 		return false, nil
 
 	case bytecode.SIGNAL, bytecode.BROADCAST:
-		cs := &st.Conds[in.A]
 		var woken []int
-		nwake := len(cs.Waiters)
+		nwake := len(st.Conds[in.A].Waiters)
 		if in.Op == bytecode.SIGNAL && nwake > 1 {
 			nwake = 1
 		}
-		for i := 0; i < nwake; i++ {
-			w := cs.Waiters[i]
-			wt := st.Threads[w]
-			wt.Status = ThRunnable
-			wt.WaitCond = -1
-			wt.WaitPhase = 1
-			woken = append(woken, w)
+		if nwake > 0 {
+			st.wsync()
+			cs := &st.Conds[in.A]
+			for i := 0; i < nwake; i++ {
+				w := cs.Waiters[i]
+				wt := st.wthread(w)
+				wt.Status = ThRunnable
+				wt.WaitCond = -1
+				wt.WaitPhase = 1
+				woken = append(woken, w)
+			}
+			cs.Waiters = cs.Waiters[nwake:]
 		}
-		cs.Waiters = cs.Waiters[nwake:]
 		fr.PC++
 		if len(woken) > 0 {
 			st.notifySync(SyncEvent{Kind: EvSignal, TID: tid, Obj: int(in.A), Others: woken})
@@ -789,6 +803,7 @@ func (m *Machine) exec(th *Thread, fr *Frame, in bytecode.Instr, pcref bytecode.
 		return true, nil
 
 	case bytecode.BARRIER:
+		st.wsync()
 		bs := &st.Barriers[in.A]
 		bs.Arrived = append(bs.Arrived, tid)
 		if int64(len(bs.Arrived)) >= p.Barriers[in.A].Count {
@@ -798,11 +813,11 @@ func (m *Machine) exec(th *Thread, fr *Frame, in bytecode.Instr, pcref bytecode.
 				if rid == tid {
 					continue
 				}
-				rt := st.Threads[rid]
+				rt := st.wthread(rid)
 				rt.Status = ThRunnable
 				rt.WaitBarrier = -1
 				// Complete their BARRIER instruction on their behalf.
-				rt.Top().PC++
+				st.wtop(rt).PC++
 				rt.Instrs++
 				st.Steps++
 			}
@@ -885,6 +900,7 @@ func (m *Machine) exec(th *Thread, fr *Frame, in bytecode.Instr, pcref bytecode.
 			s, ok := st.argSyms[int(i)]
 			if !ok {
 				s = st.NewSym(argSymName(int(i)), st.Args[i])
+				st.wargs()
 				if st.argSyms == nil {
 					st.argSyms = map[int]*expr.Sym{}
 				}
@@ -919,11 +935,13 @@ func (m *Machine) exec(th *Thread, fr *Frame, in bytecode.Instr, pcref bytecode.
 // (they retry their LOCK/WAIT-reacquire instruction).
 func (m *Machine) unlockMutex(mid, tid int) {
 	st := m.St
+	st.wsync()
 	st.Mutexes[mid].Owner = -1
-	for _, t := range st.Threads {
-		if t.Status == ThBlockedMutex && t.WaitMutex == mid {
-			t.Status = ThRunnable
-			t.WaitMutex = -1
+	for i := range st.Threads {
+		if t := st.Threads[i]; t.Status == ThBlockedMutex && t.WaitMutex == mid {
+			wt := st.wthread(i)
+			wt.Status = ThRunnable
+			wt.WaitMutex = -1
 		}
 	}
 	st.notifySync(SyncEvent{Kind: EvRelease, TID: tid, Obj: mid})

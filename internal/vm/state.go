@@ -2,11 +2,13 @@ package vm
 
 import (
 	"fmt"
-	"sort"
 	"strings"
+	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/bytecode"
 	"repro/internal/expr"
+	"repro/internal/pstate"
 )
 
 // ThreadStatus is a thread's scheduling state.
@@ -36,15 +38,21 @@ func (s ThreadStatus) String() string {
 	return fmt.Sprintf("status(%d)", uint8(s))
 }
 
-// Frame is one function activation.
+// Frame is one function activation. A Frame reachable from two states
+// (after a Clone) is immutable; the machine privatizes it through the
+// state's write barrier (wframe) before mutating, so Locals and Stack
+// backing arrays are only ever written by the state that owns them.
 type Frame struct {
 	Fn     int
 	PC     int
 	Locals []expr.Expr
 	Stack  []expr.Expr
+
+	stamp uint64 // epoch that owns this frame (see State.epoch)
 }
 
-// Thread is one PIL thread.
+// Thread is one PIL thread. Like Frame, a Thread shared between states
+// is immutable; writers go through the state's write barrier (wthread).
 type Thread struct {
 	ID     int
 	Status ThreadStatus
@@ -61,6 +69,8 @@ type Thread struct {
 	// "absolute count of instructions executed" the paper's schedule
 	// traces use to identify racing accesses precisely (§3.1).
 	Instrs int64
+
+	stamp uint64 // epoch that owns this thread
 }
 
 // Top returns the active frame, or nil when the thread has exited.
@@ -99,10 +109,14 @@ type barrierState struct {
 	Arrived []int
 }
 
-// HeapBlock is one allocation.
+// HeapBlock is one allocation. Blocks live in the state's persistent
+// heap trie; a block shared between states is immutable, and the
+// machine's write barrier (wblock) copies it on first write per epoch.
 type HeapBlock struct {
 	Cells []expr.Expr
 	Freed bool
+
+	stamp uint64 // epoch that owns this block
 }
 
 // OutPart is one piece of an output record: a literal or a value. Exactly
@@ -175,19 +189,53 @@ type Observer interface {
 	OnAccess(st *State, tid int, loc Loc, write bool, pc bytecode.PCRef, tInstr int64)
 	// OnSync is called after each synchronization event.
 	OnSync(st *State, ev SyncEvent)
-	// CloneObs returns a deep copy.
+	// CloneObs returns a logically independent copy. Implementations are
+	// expected to be O(1): share the underlying tables and copy them on
+	// first mutation (see race.Detector for the canonical shape).
 	CloneObs() Observer
 }
 
+// globalEpoch mints state epochs. Epoch 0 is reserved for states that
+// were built directly (NewState, DecodeState, struct literals in tests)
+// and have never been cloned: their layer stamps are all zero, so they
+// own everything they reference without any initialization.
+var globalEpoch uint64
+
 // State is the complete machine state: memory, threads, scheduler
 // position, inputs/outputs, path condition, and observers. It supports
-// deep cloning, which implements checkpointing (Algorithm 1) and state
+// cloning, which implements checkpointing (Algorithm 1) and state
 // forking (Algorithm 2).
+//
+// # Persistent copy-on-write representation
+//
+// Clone is O(1): it copies the struct fields (sharing every mutable
+// layer with the source) and gives both states fresh epochs. Each
+// mutable layer carries an ownership stamp — either a per-layer field in
+// the State (gStamp for globals, syncStamp for mutexes/conds/barriers,
+// thStamp for the thread list, suspStamp, hintStamp, argStamp) or a
+// per-object stamp (Thread, Frame, HeapBlock, and the heap trie's
+// nodes). A layer is owned, and may be written in place, exactly when
+// its stamp equals the state's epoch; otherwise the writer first
+// privatizes it (write barrier: copy the layer, stamp it with the
+// current epoch) and every other state sharing the old copy is
+// untouched. Since epochs are globally unique and never reused, a stale
+// stamp can never be mistaken for ownership.
+//
+// The heap is a persistent 32-way radix trie (internal/pstate) indexed
+// by ref-1 — heap refs are dense, FREE marks rather than deletes — so a
+// block write path-copies O(log32 n) nodes at most once per epoch and
+// iteration yields blocks in ref order with no sorting.
+//
+// Append-only slices (Outputs, PathCond) share backing arrays with the
+// clone's source, cap-trimmed on the clone side so an append by either
+// party reallocates instead of overwriting the shared prefix.
+// Concretize, the one operation that rewrites shared-looking data
+// wholesale, privatizes each layer before writing.
 type State struct {
 	Prog *bytecode.Program // immutable, shared
 
-	Globals  [][]expr.Expr // per global: cells
-	Heap     map[int64]*HeapBlock
+	Globals  [][]expr.Expr // per global: cells; privatized via wglobals
+	heap     pstate.Vector[*HeapBlock]
 	NextRef  int64
 	Mutexes  []mutexState
 	Conds    []condState
@@ -229,6 +277,26 @@ type State struct {
 	Observers []Observer
 
 	argSyms map[int]*expr.Sym // memoized symbols for symbolic args
+
+	// epoch identifies this state's current ownership generation. It is
+	// only meaningful together with sharedFlag: Clone marks the source
+	// shared (atomically, so concurrent Clones of one checkpoint are
+	// safe) instead of touching epoch, and own() re-epochs lazily on the
+	// next write. Everything below is bookkeeping the wire codec ignores.
+	epoch      uint64
+	sharedFlag uint32 // set by Clone on the source; cleared by own()
+
+	// Per-layer ownership stamps for layers without objects of their own.
+	gStamp    uint64 // Globals (outer slice + every cell slab)
+	syncStamp uint64 // Mutexes, Conds, Barriers
+	thStamp   uint64 // Threads outer slice
+	suspStamp uint64 // Suspended
+	hintStamp uint64 // Hints
+	argStamp  uint64 // Args, SymArgs, argSyms
+
+	// meter, when non-nil, receives per-Clone cost tallies
+	// (Stats.CloneAllocs / Stats.CloneBytes). Clones inherit it.
+	meter *Counters
 }
 
 // NewState builds the initial state for a program with the given concrete
@@ -236,14 +304,12 @@ type State struct {
 func NewState(p *bytecode.Program, args []int64, inputs []int64) *State {
 	st := &State{
 		Prog:    p,
-		Heap:    map[int64]*HeapBlock{},
 		NextRef: 1,
 		Args:    append([]int64(nil), args...),
 		SymArgs: make([]bool, len(args)),
 		In:      Inputs{Values: append([]int64(nil), inputs...)},
 		Hints:   expr.Assignment{},
 		Cur:     0,
-		argSyms: map[int]*expr.Sym{},
 	}
 	st.Globals = make([][]expr.Expr, len(p.Globals))
 	for i, g := range p.Globals {
@@ -275,151 +341,295 @@ func NewState(p *bytecode.Program, args []int64, inputs []int64) *State {
 	return st
 }
 
-// Clone deep-copies the state. Expressions and the program are immutable
-// and shared; everything mutable is copied.
+// SetCounters directs this state's per-Clone cost meter at c; clones
+// inherit the meter. The classification engine points every state it
+// runs at its per-run Counters.
+func (st *State) SetCounters(c *Counters) { st.meter = c }
+
+// stateBytes approximates what one Clone allocates (the State struct,
+// plus the Observers slice when present); observer CloneObs costs are
+// counted by the observers themselves being O(1) wrappers.
+const stateBytes = int64(unsafe.Sizeof(State{}))
+
+// Clone snapshots the state in O(1): the child shares every mutable
+// layer with the source, and both sides' write barriers copy a layer on
+// its first write per epoch (see the State doc comment). The source is
+// marked shared with one atomic store, so Clone is safe to call
+// concurrently on one state from several goroutines — which the
+// parallel alternate-schedule workers and the checkpoint stores'
+// concurrent Resumes rely on.
 //
-// Clone is the hot path of the whole analysis — every checkpoint
-// (Algorithm 1) and every state fork (Algorithm 2) goes through it, and
-// the parallel engine clones the same pre-race checkpoint once per
-// alternate schedule. Two techniques keep it cheap:
-//
-//   - Slab allocation: threads, frames, and heap blocks are copied into
-//     one backing array per kind — and every expression cell in the
-//     state (global cells, heap cells, frame locals and operand stacks)
-//     into one shared expression slab — instead of one allocation per
-//     object. Every sub-slice is cap-trimmed to its exact region, so a
-//     later append (a call pushing a frame, a push growing an operand
-//     stack) reallocates privately instead of growing into a neighbor's
-//     region.
-//   - Copy-on-write sharing: append-only slices whose elements are never
-//     mutated in place (Outputs, PathCond) share the parent's backing
-//     array, again cap-trimmed so appends by either party reallocate.
-//     Concretize, the one operation that rewrites output records,
-//     replaces the slice wholesale instead of mutating shared memory.
-//   - Empty maps stay nil: states that never allocated heap blocks,
-//     minted symbols, or read symbolic args (the common case on concrete
-//     replays) clone without those map allocations; the writing
-//     operations initialize lazily.
-//
-// Clone is safe to call concurrently on one state from several
-// goroutines (it only reads the source), which the parallel alternate-
-// schedule workers rely on.
+// The child is built with a field literal rather than a struct copy so
+// that sharedFlag (the one word a concurrent Clone writes) is never
+// read here.
 func (st *State) Clone() *State {
 	ns := &State{
 		Prog:     st.Prog,
+		Globals:  st.Globals,
+		heap:     st.heap,
 		NextRef:  st.NextRef,
+		Mutexes:  st.Mutexes,
+		Conds:    st.Conds,
+		Barriers: st.Barriers,
+		Threads:  st.Threads,
 		Cur:      st.Cur,
-		Steps:    st.Steps,
-		Halted:   st.Halted,
-		Failure:  st.Failure,
-		In:       Inputs{Values: append([]int64(nil), st.In.Values...), Pos: st.In.Pos, NSymbolic: st.In.NSymbolic},
-		Args:     append([]int64(nil), st.Args...),
-		SymArgs:  append([]bool(nil), st.SymArgs...),
-		ArgReads: st.ArgReads,
+		// Append-only slices: share the backing array, cap-trimmed so
+		// that an append by the child reallocates instead of overwriting
+		// the source's spare capacity (the source keeps its capacity; the
+		// child never reads past its own length).
+		Outputs:   st.Outputs[:len(st.Outputs):len(st.Outputs)],
+		PathCond:  st.PathCond[:len(st.PathCond):len(st.PathCond)],
+		In:        st.In,
+		Args:      st.Args,
+		SymArgs:   st.SymArgs,
+		ArgReads:  st.ArgReads,
+		Hints:     st.Hints,
+		Suspended: st.Suspended,
+		Steps:     st.Steps,
+		Halted:    st.Halted,
+		Failure:   st.Failure,
+		argSyms:   st.argSyms,
+		meter:     st.meter,
 	}
+	allocs, bytes := int64(1), stateBytes
+	// The Observers slice itself must be private (dropAccessCounter and
+	// friends splice it in place), and each observer forks its identity —
+	// cheaply, since observers copy-on-write their tables too.
+	if len(st.Observers) > 0 {
+		obs := make([]Observer, len(st.Observers))
+		for i, o := range st.Observers {
+			obs[i] = o.CloneObs()
+		}
+		ns.Observers = obs
+		allocs += int64(1 + len(obs))
+		bytes += int64(len(obs)) * 16
+	}
+	// Invalidate the source's ownership (lazily: its next write re-epochs
+	// via own) and give the child a fresh epoch. Stamps are left zero in
+	// the child; a fresh epoch is never zero... except for the reserved
+	// root generation, which by construction has nothing shared to
+	// protect.
+	atomic.StoreUint32(&st.sharedFlag, 1)
+	ns.epoch = atomic.AddUint64(&globalEpoch, 1)
+	if m := st.meter; m != nil {
+		m.CloneAllocs.Add(allocs)
+		m.CloneBytes.Add(bytes)
+	}
+	return ns
+}
 
-	// One expression slab for every cell in the state: global cells,
-	// heap cells, frame locals and operand stacks.
+// own makes sure the state's epoch is private before any stamp
+// comparison: if the state was cloned since its last write, every layer
+// it thought it owned is now shared, so it takes a fresh epoch (all
+// stamps go stale at once) and clears the flag. Writers call it through
+// the w* barriers; it is one atomic load on the fast path.
+func (st *State) own() {
+	if atomic.LoadUint32(&st.sharedFlag) != 0 {
+		atomic.StoreUint32(&st.sharedFlag, 0)
+		st.epoch = atomic.AddUint64(&globalEpoch, 1)
+	}
+}
+
+// wglobals privatizes the globals layer: the outer slice and one
+// combined cell slab for every global, so after the first global write
+// of an epoch all further global writes are in place.
+func (st *State) wglobals() {
+	st.own()
+	if st.gStamp == st.epoch {
+		return
+	}
 	nCells := 0
 	for _, cells := range st.Globals {
 		nCells += len(cells)
 	}
-	for _, blk := range st.Heap {
-		nCells += len(blk.Cells)
-	}
-	for _, t := range st.Threads {
-		for _, f := range t.Frames {
-			nCells += len(f.Locals) + len(f.Stack)
-		}
-	}
-	xslab := make([]expr.Expr, nCells)
+	slab := make([]expr.Expr, nCells)
+	ng := make([][]expr.Expr, len(st.Globals))
 	xi := 0
-	grab := func(src []expr.Expr) []expr.Expr {
-		dst := xslab[xi : xi+len(src) : xi+len(src)]
-		copy(dst, src)
-		xi += len(src)
-		return dst
-	}
-
-	ns.Globals = make([][]expr.Expr, len(st.Globals))
 	for i, cells := range st.Globals {
-		ns.Globals[i] = grab(cells)
+		dst := slab[xi : xi+len(cells) : xi+len(cells)]
+		copy(dst, cells)
+		ng[i] = dst
+		xi += len(cells)
 	}
+	st.Globals = ng
+	st.gStamp = st.epoch
+}
 
-	// Heap: one block slab, cells from the shared expression slab.
-	if len(st.Heap) > 0 {
-		blkSlab := make([]HeapBlock, len(st.Heap))
-		ns.Heap = make(map[int64]*HeapBlock, len(st.Heap))
-		bi := 0
-		for ref, blk := range st.Heap {
-			nb := &blkSlab[bi]
-			bi++
-			nb.Cells, nb.Freed = grab(blk.Cells), blk.Freed
-			ns.Heap[ref] = nb
-		}
+// wsync privatizes the synchronization layer (mutexes, condvars,
+// barriers). Outer slices are copied; the Waiters/Arrived backing
+// arrays stay shared read-only with their headers cap-trimmed, so an
+// append by any party reallocates (no element of a waiter list is ever
+// written in place — lists only append, re-slice, or reset).
+func (st *State) wsync() {
+	st.own()
+	if st.syncStamp == st.epoch {
+		return
 	}
-
-	ns.Mutexes = append([]mutexState(nil), st.Mutexes...)
-	ns.Conds = make([]condState, len(st.Conds))
+	st.Mutexes = append([]mutexState(nil), st.Mutexes...)
+	nc := make([]condState, len(st.Conds))
 	for i := range st.Conds {
-		ns.Conds[i].Waiters = append([]int(nil), st.Conds[i].Waiters...)
+		w := st.Conds[i].Waiters
+		nc[i].Waiters = w[:len(w):len(w)]
 	}
-	ns.Barriers = make([]barrierState, len(st.Barriers))
+	st.Conds = nc
+	nb := make([]barrierState, len(st.Barriers))
 	for i := range st.Barriers {
-		ns.Barriers[i].Arrived = append([]int(nil), st.Barriers[i].Arrived...)
+		a := st.Barriers[i].Arrived
+		nb[i].Arrived = a[:len(a):len(a)]
 	}
+	st.Barriers = nb
+	st.syncStamp = st.epoch
+}
 
-	// Threads: slab-allocate the thread and frame objects.
-	nFrames := 0
-	for _, t := range st.Threads {
-		nFrames += len(t.Frames)
+// wthreads privatizes the outer thread list (cap-trimmed so SPAWN's
+// append reallocates rather than growing into a shared neighbor).
+func (st *State) wthreads() {
+	st.own()
+	if st.thStamp == st.epoch {
+		return
 	}
-	thSlab := make([]Thread, len(st.Threads))
-	frSlab := make([]Frame, nFrames)
-	fpSlab := make([]*Frame, nFrames)
-	ns.Threads = make([]*Thread, len(st.Threads))
-	fi := 0
-	for i, t := range st.Threads {
-		nt := &thSlab[i]
-		*nt = *t
-		nt.Frames = fpSlab[fi : fi : fi+len(t.Frames)]
-		for _, f := range t.Frames {
-			nf := &frSlab[fi]
-			nf.Fn, nf.PC = f.Fn, f.PC
-			nf.Locals = grab(f.Locals)
-			nf.Stack = grab(f.Stack)
-			nt.Frames = append(nt.Frames, nf)
-			fi++
-		}
-		ns.Threads[i] = nt
-	}
+	nt := make([]*Thread, len(st.Threads))
+	copy(nt, st.Threads)
+	st.Threads = nt
+	st.thStamp = st.epoch
+}
 
-	// Append-only slices: share the backing array, cap-trimmed so that
-	// an append by parent or clone reallocates instead of overwriting
-	// the shared prefix.
-	ns.Outputs = st.Outputs[:len(st.Outputs):len(st.Outputs)]
-	ns.PathCond = st.PathCond[:len(st.PathCond):len(st.PathCond)]
+// wthread returns a writable *Thread for tid, privatizing the outer
+// list and the thread object as needed. The thread's Frames pointer
+// slice is copied cap-trimmed; the frames themselves stay shared until
+// wframe touches them.
+func (st *State) wthread(tid int) *Thread {
+	st.wthreads()
+	t := st.Threads[tid]
+	if t.stamp == st.epoch {
+		return t
+	}
+	nt := &Thread{}
+	*nt = *t
+	nt.stamp = st.epoch
+	nf := make([]*Frame, len(t.Frames))
+	copy(nf, t.Frames)
+	nt.Frames = nf
+	st.Threads[tid] = nt
+	return nt
+}
 
-	if len(st.Hints) > 0 {
-		ns.Hints = make(expr.Assignment, len(st.Hints))
-		for k, v := range st.Hints {
-			ns.Hints[k] = v
-		}
+// wframe returns a writable frame at index i of an already-privatized
+// thread, copying the frame and its Locals/Stack backing on first touch
+// per epoch. Once owned, element writes, pops, and pushes all operate on
+// private arrays (a push after privatization reallocates once — the
+// copy is exact-capacity — then grows privately).
+func (st *State) wframe(t *Thread, i int) *Frame {
+	f := t.Frames[i]
+	if f.stamp == st.epoch {
+		return f
 	}
-	ns.Suspended = append([]bool(nil), st.Suspended...)
-	if len(st.Observers) > 0 {
-		ns.Observers = make([]Observer, len(st.Observers))
-		for i, o := range st.Observers {
-			ns.Observers[i] = o.CloneObs()
-		}
+	nf := &Frame{Fn: f.Fn, PC: f.PC, stamp: st.epoch}
+	nf.Locals = make([]expr.Expr, len(f.Locals))
+	copy(nf.Locals, f.Locals)
+	nf.Stack = make([]expr.Expr, len(f.Stack))
+	copy(nf.Stack, f.Stack)
+	t.Frames[i] = nf
+	return nf
+}
+
+// wtop is wframe for the thread's active frame.
+func (st *State) wtop(t *Thread) *Frame {
+	return st.wframe(t, len(t.Frames)-1)
+}
+
+// newFrame allocates a frame owned by the current epoch.
+func (st *State) newFrame(fn int, locals []expr.Expr) *Frame {
+	return &Frame{Fn: fn, Locals: locals, stamp: st.epoch}
+}
+
+// wsusp privatizes the suspension mask.
+func (st *State) wsusp() {
+	st.own()
+	if st.suspStamp == st.epoch {
+		return
 	}
+	st.Suspended = append([]bool(nil), st.Suspended...)
+	st.suspStamp = st.epoch
+}
+
+// whints privatizes the concolic hint assignment.
+func (st *State) whints() {
+	st.own()
+	if st.hintStamp == st.epoch {
+		return
+	}
+	nh := make(expr.Assignment, len(st.Hints)+1)
+	for k, v := range st.Hints {
+		nh[k] = v
+	}
+	st.Hints = nh
+	st.hintStamp = st.epoch
+}
+
+// wargs privatizes the argument layer: Args, SymArgs, and the argSyms
+// memo, which are written together (Concretize, MarkSymArg, ARG).
+func (st *State) wargs() {
+	st.own()
+	if st.argStamp == st.epoch {
+		return
+	}
+	st.Args = append([]int64(nil), st.Args...)
+	st.SymArgs = append([]bool(nil), st.SymArgs...)
 	if len(st.argSyms) > 0 {
-		ns.argSyms = make(map[int]*expr.Sym, len(st.argSyms))
+		na := make(map[int]*expr.Sym, len(st.argSyms))
 		for k, v := range st.argSyms {
-			ns.argSyms[k] = v
+			na[k] = v
 		}
+		st.argSyms = na
+	} else {
+		st.argSyms = nil
 	}
-	return ns
+	st.argStamp = st.epoch
+}
+
+// HeapLen returns the number of heap blocks ever allocated (freed
+// blocks included; refs are dense and never reused).
+func (st *State) HeapLen() int { return st.heap.Len() }
+
+// heapBlock returns the block for ref, or nil for an invalid ref.
+func (st *State) heapBlock(ref int64) *HeapBlock {
+	if ref < 1 || ref > int64(st.heap.Len()) {
+		return nil
+	}
+	return st.heap.Get(int(ref) - 1)
+}
+
+// rangeHeap visits every heap block in ref order (refs are dense,
+// starting at 1).
+func (st *State) rangeHeap(f func(ref int64, blk *HeapBlock) bool) {
+	st.heap.Range(func(i int, blk *HeapBlock) bool {
+		return f(int64(i)+1, blk)
+	})
+}
+
+// allocBlock appends a fresh heap block and returns its ref. The caller
+// must have advanced NextRef; ref == NextRef-1 == HeapLen() holds by
+// construction.
+func (st *State) allocBlock(cells []expr.Expr) int64 {
+	st.own()
+	st.heap.Append(&HeapBlock{Cells: cells, stamp: st.epoch}, st.epoch)
+	return int64(st.heap.Len())
+}
+
+// wblock returns a writable block for ref (which must be valid),
+// copying the block and its cells on first write per epoch and
+// path-copying the heap trie's spine.
+func (st *State) wblock(ref int64, blk *HeapBlock) *HeapBlock {
+	st.own()
+	if blk.stamp == st.epoch {
+		return blk
+	}
+	nb := &HeapBlock{Freed: blk.Freed, stamp: st.epoch}
+	nb.Cells = make([]expr.Expr, len(blk.Cells))
+	copy(nb.Cells, blk.Cells)
+	st.heap.Set(int(ref)-1, nb, st.epoch)
+	return nb
 }
 
 // IsSuspended reports whether the thread is hidden from the scheduler.
@@ -467,6 +677,7 @@ func (st *State) Suspend(tid int) {
 	if tid < 0 {
 		return
 	}
+	st.wsusp()
 	for len(st.Suspended) <= tid {
 		st.Suspended = append(st.Suspended, false)
 	}
@@ -476,20 +687,36 @@ func (st *State) Suspend(tid int) {
 // Resume reverses Suspend.
 func (st *State) Resume(tid int) {
 	if tid >= 0 && tid < len(st.Suspended) {
+		st.wsusp()
 		st.Suspended[tid] = false
 	}
 }
 
 // NewSym mints a fresh symbolic variable with a concolic hint and records
-// the hint. Hints may be nil on a clone that had none (Clone skips empty
-// maps); initialize lazily.
+// the hint.
 func (st *State) NewSym(name string, hint int64) *expr.Sym {
 	s := expr.NewSym(name)
-	if st.Hints == nil {
-		st.Hints = expr.Assignment{}
-	}
+	st.whints()
 	st.Hints[name] = hint
 	return s
+}
+
+// SetHint records (or overrides) the concolic seed value for a symbol.
+// Callers outside the vm use it to steer a cloned sibling down the other
+// side of a branch; the barrier keeps the clone's source untouched.
+func (st *State) SetHint(name string, v int64) {
+	st.whints()
+	st.Hints[name] = v
+}
+
+// MarkSymArg flags argument i so its future ARG reads mint symbols
+// instead of returning the recorded concrete value.
+func (st *State) MarkSymArg(i int) {
+	if i < 0 || i >= len(st.SymArgs) {
+		return
+	}
+	st.wargs()
+	st.SymArgs[i] = true
 }
 
 // AddConstraint appends a path constraint.
@@ -510,6 +737,9 @@ func (st *State) HintEval(e expr.Expr) (int64, error) {
 // expression in the state, producing a fully concrete state: memory,
 // stacks, outputs, and pending inputs. The path condition is cleared.
 // This is how alternate executions become "fully concrete" (§3.3.1).
+// Every layer it rewrites goes through the write barriers first, so
+// sibling clones being concretized concurrently on other workers never
+// see each other's substitutions.
 func (st *State) Concretize(model expr.Assignment) {
 	env := make(expr.Assignment, len(st.Hints)+len(model))
 	for k, v := range st.Hints {
@@ -519,18 +749,23 @@ func (st *State) Concretize(model expr.Assignment) {
 		env[k] = v
 	}
 	sub := func(e expr.Expr) expr.Expr { return expr.Substitute(e, env) }
+	st.wglobals()
 	for i, cells := range st.Globals {
 		for j, c := range cells {
 			st.Globals[i][j] = sub(c)
 		}
 	}
-	for _, blk := range st.Heap {
-		for j, c := range blk.Cells {
-			blk.Cells[j] = sub(c)
+	st.rangeHeap(func(ref int64, blk *HeapBlock) bool {
+		wb := st.wblock(ref, blk)
+		for j, c := range wb.Cells {
+			wb.Cells[j] = sub(c)
 		}
-	}
-	for _, t := range st.Threads {
-		for _, f := range t.Frames {
+		return true
+	})
+	for i := range st.Threads {
+		t := st.wthread(i)
+		for j := range t.Frames {
+			f := st.wframe(t, j)
 			for i, l := range f.Locals {
 				f.Locals[i] = sub(l)
 			}
@@ -563,6 +798,7 @@ func (st *State) Concretize(model expr.Assignment) {
 		st.Outputs = outs
 	}
 	// Future arg reads become concrete, consistent with the model.
+	st.wargs()
 	for i := range st.SymArgs {
 		if st.SymArgs[i] {
 			if v, ok := env[argSymName(i)]; ok {
@@ -571,8 +807,13 @@ func (st *State) Concretize(model expr.Assignment) {
 			st.SymArgs[i] = false
 		}
 	}
-	st.argSyms = map[int]*expr.Sym{}
-	// Future input reads become concrete, consistent with the model.
+	st.argSyms = nil
+	// Future input reads become concrete, consistent with the model. The
+	// values log may be shared with the clone's source; privatize before
+	// the first write or growth.
+	vals := make([]int64, len(st.In.Values))
+	copy(vals, st.In.Values)
+	st.In.Values = vals
 	for p := 0; p < st.In.NSymbolic; p++ {
 		if v, ok := env[inputSymName(p)]; ok {
 			for len(st.In.Values) <= p {
@@ -601,19 +842,14 @@ func (st *State) MemoryFingerprint() string {
 			b.WriteByte(',')
 		}
 	}
-	refs := make([]int64, 0, len(st.Heap))
-	for r := range st.Heap {
-		refs = append(refs, r)
-	}
-	sort.Slice(refs, func(i, j int) bool { return refs[i] < refs[j] })
-	for _, r := range refs {
-		blk := st.Heap[r]
-		fmt.Fprintf(&b, "h%d(f=%v):", r, blk.Freed)
+	st.rangeHeap(func(ref int64, blk *HeapBlock) bool {
+		fmt.Fprintf(&b, "h%d(f=%v):", ref, blk.Freed)
 		for _, c := range blk.Cells {
 			b.WriteString(c.String())
 			b.WriteByte(',')
 		}
-	}
+		return true
+	})
 	for _, t := range st.Threads {
 		fmt.Fprintf(&b, "t%d(%s):", t.ID, t.Status)
 		for _, f := range t.Frames {
@@ -681,18 +917,13 @@ func (st *State) SharedMemoryFingerprint() string {
 			b.WriteByte(',')
 		}
 	}
-	refs := make([]int64, 0, len(st.Heap))
-	for r := range st.Heap {
-		refs = append(refs, r)
-	}
-	sort.Slice(refs, func(i, j int) bool { return refs[i] < refs[j] })
-	for _, r := range refs {
-		blk := st.Heap[r]
-		fmt.Fprintf(&b, "h%d(f=%v):", r, blk.Freed)
+	st.rangeHeap(func(ref int64, blk *HeapBlock) bool {
+		fmt.Fprintf(&b, "h%d(f=%v):", ref, blk.Freed)
 		for _, c := range blk.Cells {
 			b.WriteString(c.String())
 			b.WriteByte(',')
 		}
-	}
+		return true
+	})
 	return b.String()
 }

@@ -146,7 +146,7 @@ fn main() {
 	print(a - b)
 }`)
 	st := NewState(p, []int64{9}, nil)
-	st.SymArgs[0] = true
+	st.MarkSymArg(0)
 	m := NewMachine(st, NewRoundRobin())
 	res := m.Run(-1)
 	wantFinished(t, res)

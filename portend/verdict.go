@@ -120,6 +120,14 @@ type Stats struct {
 	FusedOps       int64 `json:"fusedOps,omitempty"`
 	InternedConsts int64 `json:"internedConsts,omitempty"`
 
+	// CloneAllocs and CloneBytes meter the copy-on-write state snapshots
+	// this classification took (checkpoint deposits, enforcement forks,
+	// exploration siblings): allocations and bytes spent on Clone itself,
+	// measured rather than modeled. Throughput accounting like FusedOps —
+	// varies with pool width, never the verdict.
+	CloneAllocs int64 `json:"cloneAllocs,omitempty"`
+	CloneBytes  int64 `json:"cloneBytes,omitempty"`
+
 	// SolverCacheEvictions counts entries the run-wide solver memo
 	// evicted (least-recently-used) while this race classified — a cache
 	// pressure indicator for tuning, attributed to whichever race was
@@ -220,6 +228,8 @@ func newVerdict(cv *core.Verdict, prog *bytecode.Program) Verdict {
 			TruncatedPaths:       cv.Stats.TruncatedPaths,
 			FusedOps:             cv.Stats.FusedOps,
 			InternedConsts:       cv.Stats.InternedConsts,
+			CloneAllocs:          cv.Stats.CloneAllocs,
+			CloneBytes:           cv.Stats.CloneBytes,
 			SolverCacheEvictions: cv.Stats.SolverCacheEvictions,
 			SiblingMemoHits:      cv.Stats.SiblingMemoHits,
 			SolverCacheCap:       cv.Stats.SolverCacheCap,
